@@ -1,0 +1,95 @@
+//! Criterion benchmarks of the MILP solver and the reconstruction
+//! formulations, including the branching-rule ablation called out in
+//! DESIGN.md.
+
+use coremap_core::ilp_model::{reconstruct, reconstruct_full};
+use coremap_core::traffic::ObservationSet;
+use coremap_ilp::{Branching, Cmp, Model};
+use coremap_mesh::{DieTemplate, Floorplan, FloorplanBuilder, TileCoord};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn full_die_plan() -> Floorplan {
+    FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+        .build()
+        .expect("full die")
+}
+
+fn dense_block_plan() -> Floorplan {
+    let t = DieTemplate::SkylakeXcc;
+    let keep: Vec<TileCoord> = (2..5)
+        .flat_map(|r| (0..2).map(move |c| TileCoord::new(r, c)))
+        .collect();
+    let disable = t
+        .core_capable_positions()
+        .into_iter()
+        .filter(|p| !keep.contains(p));
+    FloorplanBuilder::new(t)
+        .disable_all(disable)
+        .build()
+        .expect("block die")
+}
+
+fn reconstruction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconstruct");
+    group.sample_size(10);
+    let plan = full_die_plan();
+    let obs = ObservationSet::synthetic(&plan);
+    group.bench_function("merged_full_die", |b| {
+        b.iter(|| black_box(reconstruct(&obs, plan.dim()).expect("solves")))
+    });
+    let block = dense_block_plan();
+    let block_obs = ObservationSet::synthetic(&block);
+    group.bench_function("merged_dense_block", |b| {
+        b.iter(|| black_box(reconstruct(&block_obs, block.dim()).expect("solves")))
+    });
+    group.bench_function("paper_literal_dense_block", |b| {
+        b.iter(|| black_box(reconstruct_full(&block_obs, block.dim()).expect("solves")))
+    });
+    group.finish();
+}
+
+/// A knapsack-flavoured MILP family for the branching-rule ablation.
+fn ablation_model(n: usize) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..n).map(|i| m.bin_var(&format!("b{i}"))).collect();
+    let mut cap = m.expr();
+    let mut obj = m.expr();
+    for (i, &v) in vars.iter().enumerate() {
+        let w = 3 + (i * 7) % 11;
+        let p = 2 + (i * 5) % 13;
+        cap = cap.term(w as f64, v);
+        obj = obj.term(-(p as f64), v);
+    }
+    m.constraint(cap, Cmp::Le, (3 * n) as f64);
+    m.minimize(obj);
+    m
+}
+
+fn branching_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branching_rule");
+    group.sample_size(10);
+    let model = ablation_model(24);
+    group.bench_function("most_fractional", |b| {
+        b.iter(|| {
+            black_box(
+                model
+                    .solve_with_branching(Branching::MostFractional)
+                    .expect("solves"),
+            )
+        })
+    });
+    group.bench_function("first_fractional", |b| {
+        b.iter(|| {
+            black_box(
+                model
+                    .solve_with_branching(Branching::FirstFractional)
+                    .expect("solves"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, reconstruction, branching_rules);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benchmarks of the mapping pipeline and its stages.
+
+use coremap_core::{cha_map, eviction, ilp_model, traffic, CoreMapper};
+use coremap_fleet::{CloudFleet, CpuModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn pipeline_per_model(c: &mut Criterion) {
+    let fleet = CloudFleet::with_seed(2022);
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for model in [
+        CpuModel::Platinum8124M,
+        CpuModel::Platinum8175M,
+        CpuModel::Platinum8259CL,
+    ] {
+        let instance = fleet.instance(model, 0).expect("instance 0");
+        group.bench_function(model.name(), |b| {
+            b.iter(|| {
+                let mut machine = instance.boot();
+                black_box(CoreMapper::new().map(&mut machine).expect("maps"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn pipeline_stages(c: &mut Criterion) {
+    let fleet = CloudFleet::with_seed(2022);
+    let instance = fleet
+        .instance(CpuModel::Platinum8124M, 0)
+        .expect("instance 0");
+    let mut group = c.benchmark_group("stages");
+    group.sample_size(10);
+
+    group.bench_function("eviction_sets", |b| {
+        b.iter(|| {
+            let mut machine = instance.boot();
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            black_box(eviction::build_all_sets(&mut machine, &mut rng, 8).expect("sets"))
+        })
+    });
+
+    // Prepared state for the later stages.
+    let mut machine = instance.boot();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let sets = eviction::build_all_sets(&mut machine, &mut rng, 8).expect("sets");
+    group.bench_function("cha_discovery", |b| {
+        b.iter(|| black_box(cha_map::discover(&mut machine, &sets, 3).expect("mapping")))
+    });
+    let mapping = cha_map::discover(&mut machine, &sets, 3).expect("mapping");
+    group.bench_function("traffic_observation", |b| {
+        b.iter(|| {
+            black_box(traffic::observe_all(&mut machine, &mapping, &sets, 16, 1).expect("observes"))
+        })
+    });
+    let observations = traffic::observe_all(&mut machine, &mapping, &sets, 16, 1).expect("obs");
+    let dim = machine.grid_dim();
+    group.bench_function("ilp_reconstruction", |b| {
+        b.iter(|| black_box(ilp_model::reconstruct(&observations, dim).expect("reconstructs")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pipeline_per_model, pipeline_stages);
+criterion_main!(benches);

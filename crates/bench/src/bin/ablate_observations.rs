@@ -1,0 +1,67 @@
+//! **Ablation** — observation budget vs. reconstruction accuracy.
+//!
+//! The all-pairs traffic campaign is the expensive part of the mapping
+//! pipeline. This ablation subsamples the ordered core pairs at increasing
+//! strides and reports how reconstruction quality degrades, using the
+//! pairwise relative-placement accuracy metric.
+
+use coremap_bench::{print_table, Options};
+use coremap_core::{verify, CoreMapper, MapperConfig};
+use coremap_fleet::{CloudFleet, CpuModel};
+
+fn main() {
+    let opts = Options::from_args();
+    let fleet = CloudFleet::with_seed(opts.seed);
+    let instance = fleet
+        .instance(CpuModel::Platinum8175M, 0)
+        .expect("instance 0 exists");
+
+    println!("== Ablation: traffic-observation budget vs map accuracy ==\n");
+    let mut rows = Vec::new();
+    for stride in [1usize, 4, 16, 32, 64, 128] {
+        let mut machine = instance.boot();
+        let cfg = MapperConfig {
+            pair_stride: stride,
+            ..MapperConfig::default()
+        };
+        let start = std::time::Instant::now();
+        let result = CoreMapper::with_config(cfg).map(&mut machine);
+        let elapsed = start.elapsed();
+        match result {
+            Ok(map) => {
+                let truth = instance.floorplan();
+                let positions: Vec<_> = truth.chas().map(|c| map.coord_of_cha(c)).collect();
+                let acc = verify::pairwise_accuracy(&positions, truth);
+                let rel = verify::matches_relative(&map, truth);
+                rows.push(vec![
+                    stride.to_string(),
+                    format!("{:.0}%", 100.0 / stride as f64),
+                    format!("{acc:.4}"),
+                    if rel { "yes" } else { "no" }.to_owned(),
+                    format!("{elapsed:.2?}"),
+                ]);
+            }
+            Err(e) => rows.push(vec![
+                stride.to_string(),
+                format!("{:.0}%", 100.0 / stride as f64),
+                "-".into(),
+                format!("failed: {e}"),
+                format!("{elapsed:.2?}"),
+            ]),
+        }
+    }
+    print_table(
+        &[
+            "pair stride",
+            "pairs used",
+            "pairwise acc",
+            "relative match",
+            "time",
+        ],
+        &rows,
+    );
+    println!(
+        "\nAll-pairs observation (stride 1) recovers the exact relative map;\n\
+         subsampling degrades gracefully until the ILP is under-constrained."
+    );
+}

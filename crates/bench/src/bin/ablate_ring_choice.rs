@@ -1,0 +1,89 @@
+//! **Sec. II-B** — choice of the monitored ring class.
+//!
+//! The paper monitors the BL (data) ring. The uncore also exposes AD
+//! (request) and IV (invalidation) ring counters; this ablation maps the
+//! same instance through each usable class and compares campaign size,
+//! runtime and accuracy.
+//!
+//! The structural findings:
+//! * **BL** (paper): the dirty-forward ping-pong gives clean directed
+//!   paths between every ordered pair of *core* tiles; LLC-only tiles can
+//!   only be sources.
+//! * **AD**: read-miss streams give directed `core -> home` request paths
+//!   — LLC-only tiles become observable *sinks* — but the core-to-core
+//!   ping-pong is unusable (its request and snoop legs flow in opposite
+//!   directions within one experiment), which is exactly why the paper's
+//!   method rides the data ring.
+//! * **IV**: invalidations only flow on shared-line upgrades; there is no
+//!   controllable directed pattern, so no campaign exists.
+
+use std::time::Instant;
+
+use coremap_bench::{print_table, Options};
+use coremap_core::{verify, CoreMapper, MapperConfig};
+use coremap_fleet::{CloudFleet, CpuModel};
+use coremap_uncore::RingClass;
+
+fn main() {
+    let opts = Options::from_args();
+    let fleet = CloudFleet::with_seed(opts.seed);
+    let instance = fleet
+        .instance(CpuModel::Platinum8259CL, 0)
+        .expect("instance 0 exists");
+    let truth = instance.floorplan().clone();
+
+    println!("== Sec. II-B ablation: which mesh ring to monitor ==\n");
+    let mut rows = Vec::new();
+    for (name, ring) in [
+        ("BL (data, paper)", RingClass::Bl),
+        ("AD (request)", RingClass::Ad),
+    ] {
+        let mut machine = instance.boot();
+        let cfg = MapperConfig {
+            ring,
+            ..MapperConfig::default()
+        };
+        let start = Instant::now();
+        let map = CoreMapper::with_config(cfg)
+            .map(&mut machine)
+            .expect("mapping succeeds");
+        let elapsed = start.elapsed();
+        let positions: Vec<_> = truth.chas().map(|c| map.coord_of_cha(c)).collect();
+        rows.push(vec![
+            name.to_owned(),
+            format!("{:.4}", verify::pairwise_accuracy(&positions, &truth)),
+            if verify::matches_relative(&map, &truth) {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_owned(),
+            format!("{}", machine.op_count()),
+            format!("{elapsed:.2?}"),
+        ]);
+    }
+    rows.push(vec![
+        "IV (invalidation)".to_owned(),
+        "-".into(),
+        "no directed pattern".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    print_table(
+        &[
+            "monitored ring",
+            "pairwise acc",
+            "relative match",
+            "machine ops",
+            "time",
+        ],
+        &rows,
+    );
+    println!(
+        "\nBoth usable rings recover the map in the simulator; the paper's BL\n\
+         choice is what makes the ping-pong generator's single-directed-path\n\
+         assumption hold, and on real silicon the data ring also carries the\n\
+         full cache-line payload (64 B vs a header flit), giving far stronger\n\
+         occupancy signal per transfer."
+    );
+}

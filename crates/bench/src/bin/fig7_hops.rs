@@ -1,0 +1,78 @@
+//! **Fig. 7** — bit transfer rate vs. bit error probability for different
+//! sender-receiver hop counts.
+//!
+//! (a) horizontal 1-hop pairs, (b) vertical 1-hop pairs, plus vertical
+//! 2-hop and 3-hop pairs, swept over bit rates. Sender/receiver cores are
+//! chosen from the *recovered* map. Expected shape (paper): vertical 1-hop
+//! beats horizontal 1-hop (tile aspect ratio); >=2 hops is unusable; error
+//! rises with rate; ~1 bps on 1-hop is near error-free.
+
+use coremap_bench::{all_pairs_at, print_table, random_bits, thermal_sim, Options};
+use coremap_core::CoreMapper;
+use coremap_fleet::{CloudFleet, CpuModel};
+use coremap_mesh::Direction;
+use coremap_thermal::ChannelConfig;
+
+fn main() {
+    let opts = Options::from_args();
+    let fleet = CloudFleet::with_seed(opts.seed);
+    let instance = fleet
+        .instance(CpuModel::Platinum8259CL, 0)
+        .expect("instance 0 exists");
+    eprintln!("mapping instance (root phase)...");
+    let mut machine = instance.boot();
+    let map = CoreMapper::new()
+        .map(&mut machine)
+        .expect("mapping succeeds");
+
+    let configs: [(&str, Direction, usize); 4] = [
+        ("horizontal 1-hop (Fig. 7a)", Direction::Right, 1),
+        ("vertical 1-hop (Fig. 7b)", Direction::Up, 1),
+        ("vertical 2-hop", Direction::Up, 2),
+        ("vertical 3-hop", Direction::Up, 3),
+    ];
+    let rates = [1.0, 2.0, 4.0, 8.0];
+    let payload = random_bits(opts.bits, opts.seed);
+
+    println!(
+        "== Fig. 7: bit rate vs bit error probability by hop count ==\n\
+         ({} payload bits per measurement; use --paper for 10 kbit)\n",
+        payload.len()
+    );
+    let mut rows = Vec::new();
+    for (label, axis, hops) in configs {
+        let pairs = all_pairs_at(&map, axis, hops);
+        if pairs.is_empty() {
+            println!("(no {label} pair on this map)");
+            continue;
+        }
+        // Average over up to three distinct pair placements to smooth out
+        // local noise-burst variance (the paper's 10 kbit runs average
+        // implicitly over a long measurement instead).
+        let sample: Vec<_> = pairs
+            .iter()
+            .step_by((pairs.len() / 3).max(1))
+            .take(3)
+            .copied()
+            .collect();
+        let mut cells = vec![label.to_owned()];
+        for &rate in &rates {
+            let mut ber_sum = 0.0;
+            for (i, &(tx, rx)) in sample.iter().enumerate() {
+                let mut sim = thermal_sim(&instance, opts.seed ^ ((rate as u64) << 8) ^ i as u64);
+                let report = ChannelConfig::new(vec![tx], rx, rate).transfer(&mut sim, &payload);
+                ber_sum += report.ber();
+            }
+            cells.push(format!("{:.3}", ber_sum / sample.len() as f64));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        &["sender-receiver pair", "1 bps", "2 bps", "4 bps", "8 bps"],
+        &rows,
+    );
+    println!(
+        "\nPaper shape check: vertical 1-hop < horizontal 1-hop error at every\n\
+         rate; 1 bps on 1-hop near zero; 2/3-hop pairs unusable (BER toward 0.5)."
+    );
+}

@@ -1,0 +1,113 @@
+//! **Fig. 8b** — aggregated throughput from multiple concurrent channels.
+//!
+//! Disjoint vertically-adjacent sender/receiver pairs, spread across the
+//! die using the recovered map, transmit simultaneously. The paper's
+//! headline: up to 15 bps aggregate at <1% BER with the x8 setting, 3x the
+//! previously reported capacity.
+
+use coremap_bench::{print_table, random_bits, thermal_sim, Options};
+use coremap_core::CoreMapper;
+use coremap_fleet::{CloudFleet, CpuModel};
+use coremap_mesh::OsCoreId;
+use coremap_thermal::{run_multi_channel, ChannelConfig};
+
+/// Greedily selects up to `n` disjoint vertical 1-hop pairs, preferring
+/// pairs far from already-selected ones (less mutual interference).
+fn disjoint_vertical_pairs(map: &coremap_core::CoreMap, n: usize) -> Vec<(OsCoreId, OsCoreId)> {
+    let cores: Vec<OsCoreId> = (0..map.core_count() as u16).map(OsCoreId::new).collect();
+    let mut pairs: Vec<(OsCoreId, OsCoreId)> = Vec::new();
+    let mut used: Vec<OsCoreId> = Vec::new();
+    // Candidate pairs sorted by isolation from previous picks each round.
+    while pairs.len() < n {
+        let mut best: Option<(usize, (OsCoreId, OsCoreId))> = None;
+        for &tx in &cores {
+            for &rx in &cores {
+                if tx == rx || used.contains(&tx) || used.contains(&rx) {
+                    continue;
+                }
+                let a = map.coord_of_core(tx);
+                let b = map.coord_of_core(rx);
+                if a.col != b.col || a.row.abs_diff(b.row) != 1 {
+                    continue;
+                }
+                let isolation = used
+                    .iter()
+                    .map(|&u| map.coord_of_core(u).hop_distance(a))
+                    .min()
+                    .unwrap_or(usize::MAX);
+                if best.as_ref().is_none_or(|&(s, _)| isolation > s) {
+                    best = Some((isolation, (tx, rx)));
+                }
+            }
+        }
+        match best {
+            Some((_, (tx, rx))) => {
+                used.extend([tx, rx]);
+                pairs.push((tx, rx));
+            }
+            None => break,
+        }
+    }
+    pairs
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let fleet = CloudFleet::with_seed(opts.seed);
+    let instance = fleet
+        .instance(CpuModel::Platinum8259CL, 0)
+        .expect("instance 0 exists");
+    eprintln!("mapping instance (root phase)...");
+    let mut machine = instance.boot();
+    let map = CoreMapper::new()
+        .map(&mut machine)
+        .expect("mapping succeeds");
+
+    let channel_counts = [1usize, 2, 4, 8];
+    let rates = [0.5, 1.0, 2.0, 5.0];
+    let bits = opts.bits.min(2_000);
+
+    println!(
+        "== Fig. 8b: aggregated throughput of concurrent channels ==\n\
+         ({bits} payload bits per channel per measurement)\n"
+    );
+    let mut rows = Vec::new();
+    let mut best_reliable = 0.0f64;
+    for &nch in &channel_counts {
+        let pairs = disjoint_vertical_pairs(&map, nch);
+        if pairs.len() < nch {
+            println!("(only {} disjoint vertical pairs available)", pairs.len());
+        }
+        for &rate in &rates {
+            let channels: Vec<ChannelConfig> = pairs
+                .iter()
+                .map(|&(tx, rx)| ChannelConfig::new(vec![tx], rx, rate))
+                .collect();
+            let payloads: Vec<Vec<bool>> = (0..channels.len())
+                .map(|i| random_bits(bits, opts.seed + i as u64))
+                .collect();
+            let mut sim = thermal_sim(&instance, opts.seed ^ (nch as u64) << 16 ^ rate as u64);
+            let report = run_multi_channel(&mut sim, &channels, &payloads);
+            let agg_rate = report.aggregate_rate_bps();
+            let agg_ber = report.aggregate_ber();
+            if agg_ber < 0.01 {
+                best_reliable = best_reliable.max(agg_rate);
+            }
+            rows.push(vec![
+                format!("x{}", channels.len()),
+                format!("{rate}"),
+                format!("{agg_rate:.1}"),
+                format!("{agg_ber:.4}"),
+            ]);
+        }
+    }
+    print_table(
+        &["channels", "per-ch bps", "aggregate bps", "aggregate BER"],
+        &rows,
+    );
+    println!(
+        "\nBest aggregate throughput at <1% BER: {best_reliable:.1} bps\n\
+         (paper: 15 bps with the x8 setting, 3x the 5 bps single-channel\n\
+         capacity of prior work [Bartolini et al.])."
+    );
+}

@@ -1,0 +1,18 @@
+//! Diagnostic: end-to-end mapping time per CPU model (not a paper figure).
+
+use coremap_bench::map_fleet;
+use coremap_fleet::{CloudFleet, CpuModel};
+use std::time::Instant;
+
+fn main() {
+    let fleet = CloudFleet::with_seed(2022);
+    for model in CpuModel::ALL {
+        let t = Instant::now();
+        let mapped = map_fleet(&fleet, model, 2, 1);
+        println!(
+            "{model}: {:?} for {} instances (serial)",
+            t.elapsed(),
+            mapped.len()
+        );
+    }
+}

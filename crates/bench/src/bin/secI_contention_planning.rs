@@ -1,0 +1,88 @@
+//! **Sec. I motivation** — planning a mesh-contention side channel from the
+//! recovered map.
+//!
+//! The paper motivates core localization with "location-based attacks,
+//! such as traffic contention side channel [Paccagnella et al.]": an
+//! attacker who knows the physical map can place two of its own cores so
+//! their traffic shares mesh links with a victim flow and observe the
+//! interference. This planner quantifies the advantage: for a victim flow
+//! chosen on the die, compare the link overlap achieved by map-guided
+//! attacker placement against blind (consecutive-OS-ID) placement.
+
+use coremap_bench::{print_table, Options};
+use coremap_core::CoreMapper;
+use coremap_fleet::{CloudFleet, CpuModel};
+use coremap_mesh::route::{route, shared_links};
+use coremap_mesh::OsCoreId;
+
+fn main() {
+    let opts = Options::from_args();
+    let fleet = CloudFleet::with_seed(opts.seed);
+    let instance = fleet
+        .instance(CpuModel::Platinum8259CL, 0)
+        .expect("instance 0 exists");
+    eprintln!("mapping instance (root phase)...");
+    let mut machine = instance.boot();
+    let map = CoreMapper::new()
+        .map(&mut machine)
+        .expect("mapping succeeds");
+    let dim = map.dim();
+    let cores: Vec<OsCoreId> = (0..map.core_count() as u16).map(OsCoreId::new).collect();
+
+    println!("== Sec. I: contention-attack placement from the recovered map ==\n");
+    let mut rows = Vec::new();
+    // A few victim flows spread across the die.
+    for (vi, &(va, vb)) in [(0u16, 23u16), (5, 18), (11, 2)].iter().enumerate() {
+        let victim = route(
+            map.coord_of_core(OsCoreId::new(va)),
+            map.coord_of_core(OsCoreId::new(vb)),
+            dim,
+        );
+
+        // Map-guided: search all attacker pairs for maximum link overlap.
+        let mut best = 0usize;
+        let mut best_pair = (cores[0], cores[1]);
+        for &a in &cores {
+            for &b in &cores {
+                if a == b || a.index() as u16 == va || b.index() as u16 == vb {
+                    continue;
+                }
+                let flow = route(map.coord_of_core(a), map.coord_of_core(b), dim);
+                let overlap = shared_links(&victim, &flow);
+                if overlap > best {
+                    best = overlap;
+                    best_pair = (a, b);
+                }
+            }
+        }
+
+        // Blind: consecutive OS IDs far from the victim's IDs.
+        let blind_a = OsCoreId::new((va + 7) % map.core_count() as u16);
+        let blind_b = OsCoreId::new((va + 8) % map.core_count() as u16);
+        let blind_flow = route(map.coord_of_core(blind_a), map.coord_of_core(blind_b), dim);
+        let blind = shared_links(&victim, &blind_flow);
+
+        rows.push(vec![
+            format!(
+                "victim #{vi}: cpu{va}->cpu{vb} ({} links)",
+                victim.links().len()
+            ),
+            format!(
+                "cpu{}->cpu{} sharing {best} links",
+                best_pair.0.index(),
+                best_pair.1.index()
+            ),
+            format!("{blind} links"),
+        ]);
+    }
+    print_table(
+        &["victim flow", "map-guided attacker flow", "blind overlap"],
+        &rows,
+    );
+    println!(
+        "\nWith the physical map, the attacker always finds a flow sharing\n\
+         most of the victim's path; blind placement usually shares none —\n\
+         the enabling step for ring/mesh contention side channels that the\n\
+         paper's introduction highlights."
+    );
+}

@@ -1,0 +1,111 @@
+//! **Table I** — OS core ID ↔ CHA ID mapping results.
+//!
+//! Runs step 1 of the methodology (slice eviction sets + zero-traffic
+//! co-location discovery) on the whole fleet and groups the instances by
+//! their measured `core -> CHA` vector, reproducing the paper's Table I:
+//! one uniform mapping each for the 8124M and 8175M (the stride-4 grouped
+//! pattern), and seven variants for the 8259CL driven by which CHA IDs the
+//! LLC-only tiles occupy.
+
+use std::collections::BTreeMap;
+
+use coremap_bench::{cha_map_fleet, print_table, Options};
+use coremap_fleet::{CloudFleet, CpuModel};
+
+/// The paper's expected mapping rows, for the side-by-side check.
+fn paper_rows(model: CpuModel) -> Vec<(Vec<u16>, usize)> {
+    match model {
+        CpuModel::Platinum8124M => vec![(
+            vec![0, 4, 8, 12, 16, 2, 6, 10, 14, 1, 5, 9, 13, 17, 3, 7, 11, 15],
+            100,
+        )],
+        CpuModel::Platinum8175M => vec![(
+            vec![
+                0, 4, 8, 12, 16, 20, 2, 6, 10, 14, 18, 22, 1, 5, 9, 13, 17, 21, 3, 7, 11, 15, 19,
+                23,
+            ],
+            100,
+        )],
+        CpuModel::Platinum8259CL => vec![
+            (
+                vec![
+                    0, 4, 8, 12, 16, 20, 24, 2, 6, 10, 14, 18, 22, 1, 5, 9, 13, 17, 21, 7, 11, 15,
+                    19, 23,
+                ],
+                62,
+            ),
+            (
+                vec![
+                    0, 4, 8, 12, 16, 20, 24, 6, 10, 14, 18, 22, 1, 5, 9, 13, 17, 21, 3, 7, 11, 15,
+                    19, 23,
+                ],
+                33,
+            ),
+            // Five singleton cases (LLC-only pairs (5,25), (3,23), (16,2),
+            // (24,3), (16,3)); counts only, vectors derived by the same
+            // stride-4 rule.
+        ],
+        CpuModel::Gold6354 => Vec::new(),
+    }
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let fleet = CloudFleet::with_seed(opts.seed);
+
+    println!("== Table I: OS core ID <-> CHA ID mapping results ==\n");
+    for model in [
+        CpuModel::Platinum8124M,
+        CpuModel::Platinum8175M,
+        CpuModel::Platinum8259CL,
+    ] {
+        let count = opts.instances_for(model);
+        let mapped = cha_map_fleet(&fleet, model, count, opts.workers);
+
+        let mut groups: BTreeMap<Vec<u16>, usize> = BTreeMap::new();
+        for (_, mapping) in &mapped {
+            let key: Vec<u16> = mapping
+                .core_to_cha
+                .iter()
+                .map(|c| c.index() as u16)
+                .collect();
+            *groups.entry(key).or_default() += 1;
+        }
+        let mut rows: Vec<(Vec<u16>, usize)> = groups.into_iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        println!("-- {model} ({count} instances) --");
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|(mapping, n)| {
+                vec![
+                    n.to_string(),
+                    mapping
+                        .iter()
+                        .map(|c| c.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                ]
+            })
+            .collect();
+        print_table(&["# insts", "CHA IDs in OS core order"], &table);
+
+        // Compare against the paper's published rows (scaled populations
+        // only line up exactly at --paper scale).
+        for (expected, paper_count) in paper_rows(model) {
+            let measured = rows.iter().find(|(m, _)| *m == expected);
+            match measured {
+                Some((_, n)) => println!(
+                    "   paper row ({paper_count} insts) reproduced with {n} insts{}",
+                    if count == model.paper_population() && *n == paper_count {
+                        " [exact]"
+                    } else {
+                        ""
+                    }
+                ),
+                None => println!("   WARNING: paper row ({paper_count} insts) not observed"),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,82 @@
+//! **Table II** — observed core-location pattern statistics.
+//!
+//! Runs the *complete* three-step pipeline (eviction sets, CHA mapping,
+//! all-pairs traffic observation, ILP reconstruction) on every fleet
+//! instance, groups the recovered maps by canonical pattern, and reports
+//! the top-4 frequencies plus the number of unique patterns — the paper's
+//! Table II. Every recovered map is additionally verified against the
+//! hidden ground truth (relative match, Sec. II-D semantics).
+
+use coremap_bench::{map_fleet, print_table, Options};
+use coremap_core::verify;
+use coremap_fleet::stats::PatternStats;
+use coremap_fleet::{CloudFleet, CpuModel};
+
+fn main() {
+    let opts = Options::from_args();
+    let fleet = CloudFleet::with_seed(opts.seed);
+
+    println!("== Table II: observed core location pattern statistics ==\n");
+    let paper: [(CpuModel, [usize; 4], usize); 3] = [
+        (CpuModel::Platinum8124M, [53, 18, 5, 5], 14),
+        (CpuModel::Platinum8175M, [52, 7, 7, 6], 26),
+        (CpuModel::Platinum8259CL, [19, 5, 4, 4], 53),
+    ];
+
+    let mut rows = Vec::new();
+    for &(model, paper_top, paper_unique) in &paper {
+        let count = opts.instances_for(model);
+        eprintln!("mapping {count} instances of {model}...");
+        let mapped = map_fleet(&fleet, model, count, opts.workers);
+
+        let mut stats = PatternStats::new();
+        let mut verified_rel = 0usize;
+        let mut verified_exact = 0usize;
+        let mut accuracy_sum = 0.0f64;
+        for (instance, map) in &mapped {
+            stats.record(map);
+            let truth = instance.floorplan();
+            if verify::matches_relative(map, truth) {
+                verified_rel += 1;
+            }
+            if verify::matches_exactly(map, truth) {
+                verified_exact += 1;
+            }
+            let positions: Vec<_> = truth.chas().map(|c| map.coord_of_cha(c)).collect();
+            accuracy_sum += verify::pairwise_accuracy(&positions, truth);
+        }
+
+        let top = stats.top_counts(4);
+        let fmt_top = |t: &[usize]| t.iter().map(usize::to_string).collect::<Vec<_>>().join("/");
+        rows.push(vec![
+            model.to_string(),
+            count.to_string(),
+            fmt_top(&top),
+            fmt_top(&paper_top),
+            stats.unique_patterns().to_string(),
+            paper_unique.to_string(),
+            format!("{verified_rel}/{count}"),
+            format!("{verified_exact}/{count}"),
+            format!("{:.4}", accuracy_sum / count as f64),
+        ]);
+    }
+    print_table(
+        &[
+            "CPU model",
+            "insts",
+            "top-4 (measured)",
+            "top-4 (paper)",
+            "unique",
+            "paper",
+            "rel-verified",
+            "exact-verified",
+            "pairwise acc",
+        ],
+        &rows,
+    );
+    println!(
+        "\nNote: measured pattern statistics reflect the generated fleet; at\n\
+         --paper scale (100 instances per model) they reproduce the paper's\n\
+         counts exactly when every instance is mapped correctly."
+    );
+}

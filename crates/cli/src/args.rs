@@ -1,0 +1,264 @@
+//! Hand-rolled argument parsing for the `core-map` CLI.
+
+use coremap_fleet::CpuModel;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+core-map — physically locate Xeon cores on the tile grid (DATE'22 reproduction)
+
+USAGE:
+    core-map <COMMAND> [OPTIONS]
+
+COMMANDS:
+    map       Map one fleet instance and print/store its core map
+    show      Render maps stored in a registry file
+    fleet     Survey a fleet model: pattern and ID-mapping statistics
+    channel   Send a message over the thermal covert channel
+    verify    Map an instance and check it against hidden ground truth
+    help      Print this help
+
+COMMON OPTIONS:
+    --model <8124m|8175m|8259cl|6354>   CPU model        [default: 8259cl]
+    --index <N>                         instance index   [default: 0]
+    --seed <N>                          fleet seed       [default: 2022]
+
+COMMAND OPTIONS:
+    map:      --registry <FILE>     append the result to a JSON registry
+    show:     --registry <FILE>     registry to read (required)
+              --ppin <HEX>          render only this chip
+    fleet:    --instances <N>       instances to survey [default: 10]
+    channel:  --message <TEXT>      payload              [default: hello]
+              --rate <BPS>          bit rate             [default: 2]
+              --senders <N>         sender count         [default: 1]
+";
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Map one instance.
+    Map {
+        model: CpuModel,
+        index: usize,
+        seed: u64,
+        registry: Option<String>,
+    },
+    /// Render stored maps.
+    Show { registry: String, ppin: Option<u64> },
+    /// Fleet survey.
+    Fleet {
+        model: CpuModel,
+        instances: usize,
+        seed: u64,
+    },
+    /// Thermal covert channel transfer.
+    Channel {
+        model: CpuModel,
+        index: usize,
+        seed: u64,
+        message: String,
+        rate: f64,
+        senders: usize,
+    },
+    /// Map + ground-truth verification.
+    Verify {
+        model: CpuModel,
+        index: usize,
+        seed: u64,
+    },
+    /// Print usage.
+    Help,
+}
+
+fn parse_model(s: &str) -> Result<CpuModel, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "8124m" | "8124" => Ok(CpuModel::Platinum8124M),
+        "8175m" | "8175" => Ok(CpuModel::Platinum8175M),
+        "8259cl" | "8259" => Ok(CpuModel::Platinum8259CL),
+        "6354" | "icelake" | "icx" => Ok(CpuModel::Gold6354),
+        other => Err(format!("unknown model '{other}'")),
+    }
+}
+
+struct Opts<'a> {
+    args: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Opts<'a> {
+    fn value(&mut self, flag: &str) -> Result<String, String> {
+        self.pos += 1;
+        self.args
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    }
+}
+
+/// Parses an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing command".into());
+    };
+    let mut model = CpuModel::Platinum8259CL;
+    let mut index = 0usize;
+    let mut seed = 2022u64;
+    let mut registry: Option<String> = None;
+    let mut ppin: Option<u64> = None;
+    let mut instances = 10usize;
+    let mut message = "hello".to_owned();
+    let mut rate = 2.0f64;
+    let mut senders = 1usize;
+
+    let mut o = Opts { args, pos: 0 };
+    while o.pos + 1 < args.len() {
+        o.pos += 1;
+        let flag = args[o.pos].clone();
+        match flag.as_str() {
+            "--model" => model = parse_model(&o.value("--model")?)?,
+            "--index" => {
+                index = o
+                    .value("--index")?
+                    .parse()
+                    .map_err(|_| "--index must be a number".to_string())?
+            }
+            "--seed" => {
+                seed = o
+                    .value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be a number".to_string())?
+            }
+            "--registry" => registry = Some(o.value("--registry")?),
+            "--ppin" => {
+                let raw = o.value("--ppin")?;
+                let raw = raw.trim_start_matches("0x");
+                ppin = Some(
+                    u64::from_str_radix(raw, 16)
+                        .map_err(|_| "--ppin must be a hex number".to_string())?,
+                );
+            }
+            "--instances" => {
+                instances = o
+                    .value("--instances")?
+                    .parse()
+                    .map_err(|_| "--instances must be a number".to_string())?
+            }
+            "--message" => message = o.value("--message")?,
+            "--rate" => {
+                rate = o
+                    .value("--rate")?
+                    .parse()
+                    .map_err(|_| "--rate must be a number".to_string())?
+            }
+            "--senders" => {
+                senders = o
+                    .value("--senders")?
+                    .parse()
+                    .map_err(|_| "--senders must be a number".to_string())?
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+
+    match cmd.as_str() {
+        "map" => Ok(Command::Map {
+            model,
+            index,
+            seed,
+            registry,
+        }),
+        "show" => Ok(Command::Show {
+            registry: registry.ok_or("show requires --registry <FILE>")?,
+            ppin,
+        }),
+        "fleet" => Ok(Command::Fleet {
+            model,
+            instances,
+            seed,
+        }),
+        "channel" => Ok(Command::Channel {
+            model,
+            index,
+            seed,
+            message,
+            rate,
+            senders,
+        }),
+        "verify" => Ok(Command::Verify { model, index, seed }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_map_with_defaults() {
+        let cmd = parse(&argv("map")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Map {
+                model: CpuModel::Platinum8259CL,
+                index: 0,
+                seed: 2022,
+                registry: None
+            }
+        );
+    }
+
+    #[test]
+    fn parses_full_channel_command() {
+        let cmd = parse(&argv(
+            "channel --model 8124m --index 3 --message hi --rate 4 --senders 2",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Channel {
+                model: CpuModel::Platinum8124M,
+                index: 3,
+                seed: 2022,
+                message: "hi".into(),
+                rate: 4.0,
+                senders: 2
+            }
+        );
+    }
+
+    #[test]
+    fn show_requires_registry() {
+        assert!(parse(&argv("show")).is_err());
+        assert!(parse(&argv("show --registry maps.json")).is_ok());
+    }
+
+    #[test]
+    fn ppin_parses_hex() {
+        let cmd = parse(&argv("show --registry r.json --ppin 0xABC")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Show {
+                registry: "r.json".into(),
+                ppin: Some(0xABC)
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_flag() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("map --what 3")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn model_aliases() {
+        assert_eq!(parse_model("ICX").unwrap(), CpuModel::Gold6354);
+        assert_eq!(parse_model("8175").unwrap(), CpuModel::Platinum8175M);
+        assert!(parse_model("9999").is_err());
+    }
+}

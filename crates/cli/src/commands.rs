@@ -1,0 +1,212 @@
+//! Command implementations.
+
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use coremap_core::{verify, CoreMapper};
+use coremap_fleet::stats::{IdMappingStats, PatternStats};
+use coremap_fleet::{CloudFleet, CpuModel, MapRegistry};
+use coremap_mesh::{OsCoreId, Ppin};
+use coremap_thermal::encoding::{bits_to_bytes, bytes_to_bits};
+use coremap_thermal::power::ThermalNoise;
+use coremap_thermal::{ChannelConfig, ThermalParams, ThermalSim};
+
+use crate::args::{Command, USAGE};
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+/// Dispatches a parsed command.
+pub fn run(cmd: Command) -> CliResult {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Map {
+            model,
+            index,
+            seed,
+            registry,
+        } => map(model, index, seed, registry),
+        Command::Show { registry, ppin } => show(&registry, ppin),
+        Command::Fleet {
+            model,
+            instances,
+            seed,
+        } => fleet_survey(model, instances, seed),
+        Command::Channel {
+            model,
+            index,
+            seed,
+            message,
+            rate,
+            senders,
+        } => channel(model, index, seed, &message, rate, senders),
+        Command::Verify { model, index, seed } => verify_cmd(model, index, seed),
+    }
+}
+
+fn map_instance(
+    model: CpuModel,
+    index: usize,
+    seed: u64,
+) -> Result<(coremap_fleet::CloudInstance, coremap_core::CoreMap), Box<dyn Error>> {
+    let fleet = CloudFleet::with_seed(seed);
+    let instance = fleet.instance(model, index)?;
+    eprintln!(
+        "mapping {} instance #{index} (PPIN {})...",
+        instance.model(),
+        instance.ppin()
+    );
+    let mut machine = instance.boot();
+    let map = CoreMapper::new()
+        .map(&mut machine)?
+        .with_template(model.template());
+    Ok((instance, map))
+}
+
+fn map(model: CpuModel, index: usize, seed: u64, registry: Option<String>) -> CliResult {
+    let (_, map) = map_instance(model, index, seed)?;
+    println!("{}", map.render());
+    if let Some(path) = registry {
+        let mut reg = match File::open(&path) {
+            Ok(f) => MapRegistry::load(BufReader::new(f))?,
+            Err(_) => MapRegistry::new(),
+        };
+        reg.insert(map);
+        reg.save(BufWriter::new(File::create(&path)?))?;
+        println!("registry updated: {path} ({} chips)", reg.len());
+    }
+    Ok(())
+}
+
+fn show(registry: &str, ppin: Option<u64>) -> CliResult {
+    let reg = MapRegistry::load(BufReader::new(File::open(registry)?))?;
+    if reg.is_empty() {
+        println!("registry is empty");
+        return Ok(());
+    }
+    for (chip, map) in reg.iter() {
+        if let Some(wanted) = ppin {
+            if chip.value() != wanted {
+                continue;
+            }
+        }
+        println!(
+            "{chip}: {} cores / {} CHAs",
+            map.core_count(),
+            map.cha_count()
+        );
+        println!("{}", map.render());
+    }
+    if let Some(wanted) = ppin {
+        if reg.get(Ppin::new(wanted)).is_none() {
+            return Err(format!("no map stored for PPIN {wanted:#x}").into());
+        }
+    }
+    Ok(())
+}
+
+fn fleet_survey(model: CpuModel, instances: usize, seed: u64) -> CliResult {
+    let _fleet = CloudFleet::with_seed(seed);
+    let count = instances.min(model.paper_population());
+    let mut patterns = PatternStats::new();
+    let mut ids = IdMappingStats::new();
+    let mut verified = 0usize;
+    for index in 0..count {
+        let (instance, map) = map_instance(model, index, seed)?;
+        if verify::matches_relative(&map, instance.floorplan()) {
+            verified += 1;
+        }
+        patterns.record(&map);
+        ids.record(&map);
+    }
+    println!("{model}: {count} instances surveyed");
+    println!(
+        "  distinct location patterns: {}",
+        patterns.unique_patterns()
+    );
+    println!("  top frequencies: {:?}", patterns.top_counts(4));
+    println!("  distinct ID mappings: {}", ids.unique_mappings());
+    println!("  exact relative matches vs ground truth: {verified}/{count}");
+    Ok(())
+}
+
+fn channel(
+    model: CpuModel,
+    index: usize,
+    seed: u64,
+    message: &str,
+    rate: f64,
+    senders: usize,
+) -> CliResult {
+    if rate <= 0.0 {
+        return Err("--rate must be positive".into());
+    }
+    let (instance, map) = map_instance(model, index, seed)?;
+
+    // Receiver with a vertical neighbour; extra senders by proximity.
+    let (receiver, first_sender) = (0..map.core_count() as u16)
+        .map(OsCoreId::new)
+        .find_map(|rx| map.vertical_neighbor_cores(rx).first().map(|&tx| (rx, tx)))
+        .ok_or("no vertically adjacent core pair on this map")?;
+    let mut tx_set = vec![first_sender];
+    let rc = map.coord_of_core(receiver);
+    let mut others: Vec<(usize, OsCoreId)> = (0..map.core_count() as u16)
+        .map(OsCoreId::new)
+        .filter(|&c| c != receiver && c != first_sender)
+        .map(|c| (map.coord_of_core(c).hop_distance(rc), c))
+        .collect();
+    others.sort();
+    tx_set.extend(
+        others
+            .into_iter()
+            .take(senders.saturating_sub(1))
+            .map(|(_, c)| c),
+    );
+
+    let bits = bytes_to_bits(message.as_bytes());
+    println!(
+        "senders {:?} -> receiver cpu{} at {rate} bps ({} bits)...",
+        tx_set.iter().map(|c| c.index()).collect::<Vec<_>>(),
+        receiver.index(),
+        bits.len()
+    );
+    let tiles = instance.floorplan().dim().tile_count();
+    let mut sim = ThermalSim::new(instance.floorplan().clone(), ThermalParams::default(), seed)
+        .with_noise(ThermalNoise::cloud(tiles));
+    let report = ChannelConfig::new(tx_set, receiver, rate).transfer(&mut sim, &bits);
+    println!(
+        "received: {:?}",
+        String::from_utf8_lossy(&bits_to_bytes(&report.decoded))
+    );
+    println!(
+        "BER {:.4} ({} of {} bits), {:.0} s simulated",
+        report.ber(),
+        report.errors,
+        report.bits,
+        report.seconds
+    );
+    Ok(())
+}
+
+fn verify_cmd(model: CpuModel, index: usize, seed: u64) -> CliResult {
+    let (instance, map) = map_instance(model, index, seed)?;
+    let truth = instance.floorplan();
+    let positions: Vec<_> = truth.chas().map(|c| map.coord_of_cha(c)).collect();
+    println!("{}", map.render());
+    println!(
+        "exact (mirror-tolerant): {}",
+        verify::matches_exactly(&map, truth)
+    );
+    println!(
+        "relative match:          {}",
+        verify::matches_relative(&map, truth)
+    );
+    println!(
+        "pairwise accuracy:       {:.4}",
+        verify::pairwise_accuracy(&positions, truth)
+    );
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! `core-map` — command-line interface to the toolkit.
+//!
+//! Mirrors the workflow of the paper's released mapping tool: map a
+//! machine once (root), store the result keyed by PPIN, and consume the
+//! stored map later from unprivileged tooling.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            eprintln!("{msg}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

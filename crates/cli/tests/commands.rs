@@ -1,0 +1,77 @@
+//! Integration tests for the CLI command layer (exercised through the
+//! binary, since the command functions live in the binary crate).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> PathBuf {
+    // target/<profile>/core-map relative to this test binary.
+    let mut p = std::env::current_exe().expect("test exe path");
+    p.pop(); // deps/
+    p.pop(); // <profile>/
+    p.push("core-map");
+    p
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = run(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("channel"));
+}
+
+#[test]
+fn unknown_command_exits_nonzero_with_usage() {
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn map_verify_and_registry_round_trip() {
+    let dir = std::env::temp_dir().join(format!("coremap-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let registry = dir.join("maps.json");
+    let registry_str = registry.to_str().expect("utf8 path");
+
+    let (ok, stdout, stderr) = run(&["map", "--model", "8124m", "--registry", registry_str]);
+    assert!(ok, "map failed: {stderr}");
+    assert!(stdout.contains("IMC"), "rendered grid expected: {stdout}");
+    assert!(registry.exists());
+
+    let (ok, stdout, _) = run(&["show", "--registry", registry_str]);
+    assert!(ok);
+    assert!(stdout.contains("18 cores"));
+
+    let (ok, _, stderr) = run(&["show", "--registry", registry_str, "--ppin", "0xdead"]);
+    assert!(!ok, "unknown PPIN must fail");
+    assert!(stderr.contains("no map stored"));
+
+    let (ok, stdout, _) = run(&["verify", "--model", "8124m"]);
+    assert!(ok);
+    assert!(stdout.contains("pairwise accuracy"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn channel_transfers_a_short_message() {
+    let (ok, stdout, stderr) = run(&["channel", "--message", "ok", "--rate", "4"]);
+    assert!(ok, "channel failed: {stderr}");
+    assert!(stdout.contains("received:"), "{stdout}");
+    assert!(stdout.contains("BER"));
+}

@@ -1,0 +1,61 @@
+//! Diagnostic: compares merged vs paper-literal ILP formulations on
+//! progressively larger sparse tile sets.
+
+use coremap_core::ilp_model::{reconstruct, reconstruct_full};
+use coremap_core::traffic::ObservationSet;
+use coremap_core::verify;
+use coremap_mesh::{DieTemplate, FloorplanBuilder, TileCoord as TC};
+use std::time::Instant;
+
+fn run(keep: &[TC]) {
+    let t = DieTemplate::SkylakeXcc;
+    let disable: Vec<TC> = t
+        .core_capable_positions()
+        .into_iter()
+        .filter(|p| !keep.contains(p))
+        .collect();
+    let plan = FloorplanBuilder::new(t)
+        .disable_all(disable)
+        .build()
+        .unwrap();
+    let obs = ObservationSet::synthetic(&plan);
+    let t0 = Instant::now();
+    let merged = reconstruct(&obs, plan.dim()).unwrap();
+    println!(
+        "merged {} tiles: {:?} nodes={}",
+        keep.len(),
+        t0.elapsed(),
+        merged.stats.nodes
+    );
+    let t0 = Instant::now();
+    let full = reconstruct_full(&obs, plan.dim()).unwrap();
+    println!(
+        "full   {} tiles: {:?} nodes={} ok={}",
+        keep.len(),
+        t0.elapsed(),
+        full.stats.nodes,
+        verify::positions_match_relative(&full.positions, &plan)
+    );
+}
+
+fn main() {
+    run(&[TC::new(0, 0), TC::new(2, 0), TC::new(0, 1), TC::new(3, 1)]);
+    run(&[
+        TC::new(0, 0),
+        TC::new(2, 0),
+        TC::new(0, 1),
+        TC::new(3, 1),
+        TC::new(1, 2),
+        TC::new(4, 3),
+    ]);
+    run(&[
+        TC::new(0, 0),
+        TC::new(2, 0),
+        TC::new(0, 1),
+        TC::new(3, 1),
+        TC::new(1, 2),
+        TC::new(4, 3),
+        TC::new(0, 4),
+        TC::new(2, 5),
+    ]);
+}

@@ -1,0 +1,25 @@
+//! Diagnostic: times the class-merged ILP reconstruction on the full
+//! 28-tile die with ideal observations.
+
+use coremap_core::ilp_model::reconstruct;
+use coremap_core::traffic::ObservationSet;
+use coremap_core::verify;
+use coremap_mesh::{DieTemplate, FloorplanBuilder};
+use std::time::Instant;
+
+fn main() {
+    let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+        .build()
+        .unwrap();
+    let obs = ObservationSet::synthetic(&plan);
+    println!("paths: {}", obs.paths.len());
+    let t = Instant::now();
+    let rec = reconstruct(&obs, plan.dim()).unwrap();
+    println!(
+        "took {:?}, nodes {}, lp iters {}",
+        t.elapsed(),
+        rec.stats.nodes,
+        rec.stats.lp_iterations
+    );
+    println!("match: {}", verify::positions_match(&rec.positions, &plan));
+}

@@ -1,0 +1,289 @@
+//! Measurement calibration and cheap re-validation of stored maps.
+//!
+//! Two quality-of-life capabilities a production mapping tool needs around
+//! the paper's core pipeline:
+//!
+//! * [`measure_noise_floor`] + [`CoreMapper::calibrated`] — size the
+//!   measurement windows to the host's actual background traffic instead
+//!   of hard-coding iteration counts (cloud neighbours vary).
+//! * [`spot_check`] — an attacker landing on a chip whose PPIN is already
+//!   in the registry should not pay for a full remap: a handful of traffic
+//!   observations replayed against the stored map either confirms it or
+//!   flags the registry entry as stale.
+
+use coremap_mesh::TileCoord;
+use coremap_uncore::PhysAddr;
+use rand::Rng;
+
+use crate::mapper::{CoreMapper, MapperConfig};
+use crate::traffic::{ObservationSet, PathObservation};
+use crate::{eviction, monitor, verify, CoreMap, MapError, MapTarget};
+
+/// Measures the background ring traffic per machine operation: counters are
+/// armed, a window of cache *hits* (which generate no mesh traffic of their
+/// own) is executed, and the total observed ring events are attributed to
+/// noise. Returns average noise events per operation.
+///
+/// # Errors
+///
+/// Propagates MSR failures.
+pub fn measure_noise_floor<T: MapTarget>(
+    machine: &mut T,
+    window_ops: usize,
+) -> Result<f64, MapError> {
+    let core = machine.os_cores()[0];
+    let pa = PhysAddr::new(0x100);
+    machine.read_line(core, pa); // warm the line: subsequent reads hit
+    monitor::arm_ring(machine)?;
+    monitor::reset_all(machine)?;
+    for _ in 0..window_ops {
+        machine.read_line(core, pa);
+    }
+    monitor::freeze_all(machine)?;
+    let mut total = 0u64;
+    for cha in 0..machine.cha_count() {
+        total += monitor::read_ring(machine, cha)?.ring_total();
+    }
+    Ok(total as f64 / window_ops as f64)
+}
+
+impl CoreMapper {
+    /// Builds a mapper whose measurement windows are scaled to the
+    /// machine's measured noise floor: quiet hosts keep the fast defaults,
+    /// busy hosts get proportionally longer windows so the thresholding
+    /// margins of steps 1 and 2 hold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates MSR failures from the calibration measurement.
+    pub fn calibrated<T: MapTarget>(machine: &mut T) -> Result<Self, MapError> {
+        let noise_per_op = measure_noise_floor(machine, 256)?;
+        let base = MapperConfig::default();
+        // Each observed path tile needs its signal (>= iters events) to
+        // dominate the noise accumulated over the window (~2 ops per
+        // iteration spread over all tiles). Scale linearly with measured
+        // noise, capped to keep runtime sane.
+        let scale = (1.0 + 4.0 * noise_per_op).min(16.0);
+        let cfg = MapperConfig {
+            probe_iters: (base.probe_iters as f64 * scale).ceil() as usize,
+            thrash_rounds: (base.thrash_rounds as f64 * scale).ceil() as usize,
+            ping_iters: (base.ping_iters as f64 * scale).ceil() as usize,
+            ..base
+        };
+        Ok(CoreMapper::with_config(cfg))
+    }
+}
+
+/// Re-validates a stored map with `samples` random traffic observations:
+/// each observation is replayed against the map's placement and must be
+/// explained by it (the acceptance criterion of
+/// [`verify::observations_consistent`]). Returns `false` as soon as one
+/// observation contradicts the map — e.g. the registry entry belongs to a
+/// different chip or was corrupted.
+///
+/// Orders of magnitude cheaper than a remap: `samples` path measurements
+/// instead of eviction-set construction plus the all-pairs campaign.
+///
+/// # Errors
+///
+/// Propagates MSR failures; [`MapError::EvictionSetBudget`] if no line
+/// homed at a sampled sink can be found.
+pub fn spot_check<T: MapTarget, R: Rng>(
+    machine: &mut T,
+    map: &CoreMap,
+    samples: usize,
+    rng: &mut R,
+) -> Result<bool, MapError> {
+    let cores = machine.os_cores();
+    let positions: Vec<TileCoord> = (0..map.cha_count())
+        .map(|i| map.coord_of_cha(coremap_mesh::ChaId::new(i as u16)))
+        .collect();
+    let space = machine.address_space();
+
+    for _ in 0..samples {
+        let src = cores[rng.gen_range(0..cores.len())];
+        let sink = loop {
+            let c = cores[rng.gen_range(0..cores.len())];
+            if c != src {
+                break c;
+            }
+        };
+        let sink_cha = map.cha_of_core(sink);
+        // Find a line homed at the sink's slice by probing random lines.
+        let mut line = None;
+        for _ in 0..64 * map.cha_count() {
+            let pa = PhysAddr::new(rng.gen_range(0..space >> 6) << 6);
+            if eviction::probe_home(machine, pa, 8)? == sink_cha {
+                line = Some(pa);
+                break;
+            }
+        }
+        let Some(pa) = line else {
+            return Err(MapError::EvictionSetBudget {
+                cha: sink_cha.index(),
+                missing: 1,
+            });
+        };
+        let obs: PathObservation =
+            crate::traffic::observe_core_pair(machine, &probe_mapping(map), src, sink, pa, 16)?;
+        let mini = ObservationSet {
+            n_cha: map.cha_count(),
+            paths: vec![obs],
+        };
+        if !verify::observations_consistent(&positions, &mini, map.dim()) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Adapts a stored map into the `ChaMapping` shape the traffic driver
+/// expects.
+fn probe_mapping(map: &CoreMap) -> crate::cha_map::ChaMapping {
+    crate::cha_map::ChaMapping {
+        core_to_cha: map.core_to_cha(),
+        llc_only: map.llc_only(),
+    }
+}
+
+/// Convenience: spot-check against a registry candidate and report whether
+/// the stored map can be reused for this machine.
+///
+/// # Errors
+///
+/// As for [`spot_check`].
+pub fn validate_stored_map<T: MapTarget>(
+    machine: &mut T,
+    map: &CoreMap,
+    seed: u64,
+) -> Result<bool, MapError> {
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    // The stored map must at least agree on the machine's shape.
+    if map.core_count() != machine.core_count() || map.cha_count() != machine.cha_count() {
+        return Ok(false);
+    }
+    spot_check(machine, map, 6, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coremap_mesh::{DieTemplate, FloorplanBuilder};
+    use coremap_uncore::{MachineConfig, NoiseModel, XeonMachine};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn machine(noise: NoiseModel) -> XeonMachine {
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .build()
+            .unwrap();
+        XeonMachine::new(
+            plan,
+            MachineConfig {
+                noise,
+                ..MachineConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn quiet_machine_measures_zero_noise() {
+        let mut m = machine(NoiseModel::quiet());
+        let floor = measure_noise_floor(&mut m, 128).unwrap();
+        assert_eq!(floor, 0.0);
+        let mapper = CoreMapper::calibrated(&mut m).unwrap();
+        assert_eq!(
+            mapper.config().ping_iters,
+            MapperConfig::default().ping_iters
+        );
+    }
+
+    #[test]
+    fn busy_machine_gets_longer_windows() {
+        let mut m = machine(NoiseModel::busy());
+        let floor = measure_noise_floor(&mut m, 128).unwrap();
+        assert!(floor > 0.1, "busy noise floor {floor}");
+        let mapper = CoreMapper::calibrated(&mut m).unwrap();
+        assert!(mapper.config().ping_iters > MapperConfig::default().ping_iters);
+        // And the calibrated mapper actually succeeds on the busy host.
+        let truth = m.floorplan().clone();
+        let map = mapper.map(&mut m).unwrap();
+        assert!(verify::matches_relative(&map, &truth));
+    }
+
+    #[test]
+    fn spot_check_confirms_the_right_map() {
+        let mut m = machine(NoiseModel::quiet());
+        let map = CoreMapper::new().map(&mut m).unwrap();
+        assert!(validate_stored_map(&mut m, &map, 1).unwrap());
+    }
+
+    #[test]
+    fn spot_check_rejects_a_foreign_map() {
+        // Map machine A, then try to reuse its map on machine B with a
+        // different layout and slice hash.
+        let mut a = machine(NoiseModel::quiet());
+        let map_a = CoreMapper::new().map(&mut a).unwrap();
+
+        let plan_b = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .disable(coremap_mesh::TileCoord::new(2, 2))
+            .disable(coremap_mesh::TileCoord::new(0, 4))
+            .build()
+            .unwrap();
+        let mut b = XeonMachine::new(
+            plan_b,
+            MachineConfig {
+                slice_hash_secret: 0x1234_5678,
+                ..MachineConfig::default()
+            },
+        );
+        // Shape differs (26 vs 28 cores), caught immediately.
+        assert!(!validate_stored_map(&mut b, &map_a, 2).unwrap());
+
+        // Same shape, different hidden layout: build another full-die
+        // machine with a different slice hash; the CHA-ID space matches but
+        // homes differ, so observations contradict the stored map.
+        let plan_c = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .build()
+            .unwrap();
+        let mut c = XeonMachine::new(
+            plan_c,
+            MachineConfig {
+                slice_hash_secret: 0xFEED_F00D,
+                ..MachineConfig::default()
+            },
+        );
+        let map_c = CoreMapper::new().map(&mut c).unwrap();
+        // Sanity: c's own map validates on c...
+        assert!(validate_stored_map(&mut c, &map_c, 3).unwrap());
+        // ...and a *scrambled* version of it does not.
+        let mut positions: Vec<coremap_mesh::TileCoord> = (0..map_c.cha_count())
+            .map(|i| map_c.coord_of_cha(coremap_mesh::ChaId::new(i as u16)))
+            .collect();
+        positions.swap(0, 9);
+        positions.swap(3, 17);
+        let scrambled = CoreMap::new(
+            map_c.dim(),
+            positions,
+            map_c.core_to_cha(),
+            map_c.llc_only(),
+        );
+        assert!(!validate_stored_map(&mut c, &scrambled, 4).unwrap());
+    }
+
+    #[test]
+    fn mini_rng_rejection_loop_terminates() {
+        use coremap_mesh::OsCoreId;
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let cores: Vec<OsCoreId> = (0..2u16).map(OsCoreId::new).collect();
+        let src = cores[0];
+        let sink = loop {
+            let c = cores[rng.gen_range(0..cores.len())];
+            if c != src {
+                break c;
+            }
+        };
+        assert_ne!(src, sink);
+    }
+}

@@ -1,0 +1,72 @@
+//! Mapping pipeline errors.
+
+use std::fmt;
+
+use coremap_uncore::MsrError;
+
+/// Error from the core-location mapping pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapError {
+    /// MSR access failed (typically: no root privileges).
+    Msr(MsrError),
+    /// Could not collect enough same-set lines for some LLC slice within the
+    /// sampling budget.
+    EvictionSetBudget {
+        /// CHA whose eviction set stayed incomplete.
+        cha: usize,
+        /// Lines still missing.
+        missing: usize,
+    },
+    /// A core matched no slice (or several) as its co-located tile; the
+    /// measurement was too noisy to threshold.
+    AmbiguousChaMapping {
+        /// OS core index with the ambiguous match.
+        core: usize,
+    },
+    /// The ILP reconstruction failed.
+    Ilp(coremap_ilp::SolveError),
+    /// Observations are mutually inconsistent (should not happen on a
+    /// conforming machine; indicates extreme noise).
+    InconsistentObservations,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Msr(e) => write!(f, "msr access failed: {e}"),
+            MapError::EvictionSetBudget { cha, missing } => write!(
+                f,
+                "eviction set for CHA{cha} incomplete ({missing} lines missing) within budget"
+            ),
+            MapError::AmbiguousChaMapping { core } => {
+                write!(f, "cpu{core} has no unambiguous co-located slice")
+            }
+            MapError::Ilp(e) => write!(f, "ilp reconstruction failed: {e}"),
+            MapError::InconsistentObservations => {
+                f.write_str("traffic observations are mutually inconsistent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MapError::Msr(e) => Some(e),
+            MapError::Ilp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MsrError> for MapError {
+    fn from(e: MsrError) -> Self {
+        MapError::Msr(e)
+    }
+}
+
+impl From<coremap_ilp::SolveError> for MapError {
+    fn from(e: coremap_ilp::SolveError) -> Self {
+        MapError::Ilp(e)
+    }
+}

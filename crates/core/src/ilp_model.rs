@@ -1,0 +1,598 @@
+//! Step 3: ILP reconstruction of the core tile map (paper Sec. II-C).
+//!
+//! Two formulations are provided:
+//!
+//! * [`reconstruct`] — the production path. It first collapses the paper's
+//!   alignment equalities (`C_i = C_s` for vertical observers, `R_j = R_e`
+//!   for horizontal observers) into row/column *classes* with a union-find,
+//!   then instantiates the remaining constraint families once per class:
+//!   vertical bounding boxes with truthful direction (Eq. 1), horizontal
+//!   bounding boxes guarded by `NE`/`NW` direction-nullifier binaries
+//!   (Eqs. 2–3), one-hot indicator variables, row/column occupancy
+//!   indicators and the tightest-map objective. This is exactly the model a
+//!   MILP presolve would derive from the paper's formulation, built
+//!   directly for speed.
+//! * [`reconstruct_full`] — the literal per-tile, per-path formulation from
+//!   the paper, kept for fidelity testing on small instances; integration
+//!   tests assert both produce equivalent maps.
+//!
+//! Both return one grid position per CHA. Absolute positions are recovered
+//! up to the ambiguities the paper documents: a fully vacant row/column
+//! cannot be pinned (Sec. II-D), and the true east/west orientation is
+//! unknowable because horizontal channel labels are scrambled (Sec.
+//! II-C.4), so the map may be horizontally mirrored.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use coremap_ilp::{Cmp, LinExpr, Model, SolveStats, Var};
+use coremap_mesh::{GridDim, TileCoord};
+
+use crate::traffic::{ObservationSet, VerticalDir};
+use crate::MapError;
+
+/// A reconstructed placement.
+#[derive(Debug, Clone)]
+pub struct Reconstruction {
+    /// Grid position per CHA (indexed by CHA id).
+    pub positions: Vec<TileCoord>,
+    /// ILP search statistics.
+    pub stats: SolveStats,
+    /// Objective value of the tightest map.
+    pub objective: f64,
+}
+
+struct UnionFind(Vec<usize>);
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self((0..n).collect())
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.0[x] != x {
+            let r = self.find(self.0[x]);
+            self.0[x] = r;
+        }
+        self.0[x]
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            let (keep, drop) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.0[drop] = keep;
+        }
+    }
+}
+
+/// Adds one-hot encodings, occupancy indicators and the objective for one
+/// axis; returns nothing (extends `model` in place).
+///
+/// `vars` are the distinct position variables of the axis, `extent` the
+/// number of rows/columns. Implements the paper's Sec. II-C.5/6 machinery:
+/// `sum_r OHR_{i,r} = 1`, `R_i = sum_r r * OHR_{i,r}`,
+/// `RI_r <= sum_i OHR_{i,r} <= b * RI_r`, objective weight rising with the
+/// index (we use `2^index`, which makes "occupy a smaller index" strictly
+/// dominant, i.e. the tightest map).
+fn add_axis_indicators(model: &mut Model, vars: &[Var], extent: usize, obj: &mut LinExpr) {
+    let mut occupancy: Vec<Vec<Var>> = vec![Vec::new(); extent];
+    for (vi, &v) in vars.iter().enumerate() {
+        let mut one_hot_sum = model.expr();
+        let mut value_sum = model.expr();
+        let mut ohs = Vec::with_capacity(extent);
+        #[allow(clippy::needless_range_loop)] // idx is also the one-hot weight
+        for idx in 0..extent {
+            let oh = model.bin_var(&format!("oh_{vi}_{idx}"));
+            ohs.push(oh);
+            one_hot_sum = one_hot_sum.term(1.0, oh);
+            if idx > 0 {
+                value_sum = value_sum.term(idx as f64, oh);
+            }
+            occupancy[idx].push(oh);
+        }
+        model.constraint(one_hot_sum, Cmp::Eq, 1.0);
+        // R_v - sum(idx * OH) == 0
+        let link = value_sum.term(-1.0, v);
+        model.constraint(link, Cmp::Eq, 0.0);
+    }
+    for (idx, ohs) in occupancy.iter().enumerate() {
+        let ind = model.bin_var(&format!("occ_{idx}"));
+        // ind <= sum(ohs)
+        let mut lhs = model.expr().term(1.0, ind);
+        for &oh in ohs {
+            lhs = lhs.term(-1.0, oh);
+        }
+        model.constraint(lhs, Cmp::Le, 0.0);
+        // The paper writes the occupied-side link in aggregated big-M form
+        // (`sum(ohs) <= b * ind`); the disaggregated, logically equivalent
+        // form `oh <= ind` per variable has a far tighter LP relaxation and
+        // keeps the branch-and-bound search shallow. Keep the aggregated
+        // row as well — it is a single dense cut that speeds up pruning.
+        let big = vars.len() as f64 + 1.0;
+        let mut agg = model.expr().term(-big, ind);
+        for &oh in ohs {
+            let lhs = model.expr().term(1.0, oh).term(-1.0, ind);
+            model.constraint(lhs, Cmp::Le, 0.0);
+            agg = agg.term(1.0, oh);
+        }
+        model.constraint(agg, Cmp::Le, 0.0);
+        obj.add_term((1u64 << idx) as f64, ind);
+    }
+}
+
+/// Reconstructs tile positions from observations on a `dim` grid using the
+/// class-merged formulation.
+///
+/// # Errors
+///
+/// [`MapError::Ilp`] if the ILP is infeasible (mutually inconsistent,
+/// typically extremely noisy, observations) or hits solver limits.
+pub fn reconstruct(obs: &ObservationSet, dim: GridDim) -> Result<Reconstruction, MapError> {
+    let n = obs.n_cha;
+
+    // ---- Alignment classes (paper Sec. II-C.2, applied as a merge) -------
+    let mut row_uf = UnionFind::new(n);
+    let mut col_uf = UnionFind::new(n);
+    for p in &obs.paths {
+        for &(k, _) in &p.vertical {
+            col_uf.union(k.index(), p.source.index());
+        }
+        for &k in &p.horizontal {
+            row_uf.union(k.index(), p.sink.index());
+        }
+    }
+    let row_class: Vec<usize> = (0..n).map(|i| row_uf.find(i)).collect();
+    let col_class: Vec<usize> = (0..n).map(|i| col_uf.find(i)).collect();
+
+    let mut model = Model::new();
+    let mut row_var: HashMap<usize, Var> = HashMap::new();
+    let mut col_var: HashMap<usize, Var> = HashMap::new();
+    for i in 0..n {
+        row_var.entry(row_class[i]).or_insert_with(|| {
+            let v = model.int_var(&format!("R{}", row_class[i]), 0, dim.rows as i64 - 1);
+            model.set_branch_priority(v, 5);
+            v
+        });
+        col_var.entry(col_class[i]).or_insert_with(|| {
+            let v = model.int_var(&format!("C{}", col_class[i]), 0, dim.cols as i64 - 1);
+            model.set_branch_priority(v, 5);
+            v
+        });
+    }
+
+    // ---- Vertical bounding boxes (Eq. 1), deduplicated per class pair ----
+    // (a, b) in `ge1` means R_a >= R_b + 1; in `ge0` means R_a >= R_b.
+    let mut ge1: HashSet<(usize, usize)> = HashSet::new();
+    let mut ge0: HashSet<(usize, usize)> = HashSet::new();
+    for p in &obs.paths {
+        let s = row_class[p.source.index()];
+        let e = row_class[p.sink.index()];
+        for &(k, dir) in &p.vertical {
+            let kc = row_class[k.index()];
+            match dir {
+                VerticalDir::Up => {
+                    // R_s > R_k >= R_e
+                    ge1.insert((s, kc));
+                    ge0.insert((kc, e));
+                }
+                VerticalDir::Down => {
+                    ge1.insert((kc, s));
+                    ge0.insert((e, kc));
+                }
+            }
+        }
+    }
+    for &(a, b) in &ge1 {
+        if a == b {
+            return Err(MapError::InconsistentObservations);
+        }
+        let e = model.expr().term(1.0, row_var[&a]).term(-1.0, row_var[&b]);
+        model.constraint(e, Cmp::Ge, 1.0);
+    }
+    for &(a, b) in &ge0 {
+        if a == b {
+            continue;
+        }
+        let e = model.expr().term(1.0, row_var[&a]).term(-1.0, row_var[&b]);
+        model.constraint(e, Cmp::Ge, 0.0);
+    }
+
+    // ---- Horizontal bounding boxes with NE/NW nullifiers (Eqs. 2-3) ------
+    // The paper allocates one NE/NW pair and one constraint block per
+    // observed path. All paths between the same pair of column classes
+    // share one physical direction, and a tile observed strictly between
+    // the two classes on *any* of them lies between them on all of them.
+    // One NE/NW pair and one constraint block per *unordered* class pair -
+    // with the union of all observed in-between classes - is therefore an
+    // equivalent, massively smaller and tighter model.
+    //
+    // The nullifier constant must dominate `span + (cols - 1)` so a voided
+    // block is satisfied by every in-grid assignment.
+    let big = 2.0 * dim.cols as f64;
+    let mut pair_mids: HashMap<(usize, usize), BTreeSet<usize>> = HashMap::new();
+    for p in &obs.paths {
+        if p.horizontal.is_empty() {
+            continue;
+        }
+        let s = col_class[p.source.index()];
+        let e = col_class[p.sink.index()];
+        if s == e {
+            return Err(MapError::InconsistentObservations);
+        }
+        let key = (s.min(e), s.max(e));
+        let entry = pair_mids.entry(key).or_default();
+        entry.extend(
+            p.horizontal
+                .iter()
+                .filter(|&&k| k != p.sink)
+                .map(|&k| col_class[k.index()]),
+        );
+    }
+    let mut pairs: Vec<((usize, usize), BTreeSet<usize>)> = pair_mids.into_iter().collect();
+    pairs.sort();
+    let mut anchored = false;
+    for ((a, b), mids) in pairs {
+        // NE = 1 voids the "a west of b" block, NW = 1 voids the mirrored
+        // one; exactly one direction is enforced (paper Sec. II-C.4).
+        let ne = model.bin_var("NE");
+        let nw = model.bin_var("NW");
+        // Direction decisions shape the whole column order: branch on them
+        // before any encoding variable.
+        model.set_branch_priority(ne, 10);
+        model.set_branch_priority(nw, 10);
+        let sum = model.expr().term(1.0, ne).term(1.0, nw);
+        model.constraint(sum, Cmp::Eq, 1.0);
+        // The true east/west orientation is unknowable (odd-column label
+        // flip), so the first horizontal relation may be fixed without
+        // loss of generality; this pins the mirror orientation.
+        if !anchored {
+            model.constraint(LinExpr::from(ne), Cmp::Eq, 0.0);
+            anchored = true;
+        }
+        let (ca, cb) = (col_var[&a], col_var[&b]);
+        // The span must clear all in-between classes: |C_a - C_b| > |mids|.
+        let span = mids.len() as f64 + 1.0;
+        let east = model.expr().term(1.0, ca).term(-1.0, cb).term(-big, ne);
+        model.constraint(east, Cmp::Le, -span);
+        let west = model.expr().term(-1.0, ca).term(1.0, cb).term(-big, nw);
+        model.constraint(west, Cmp::Le, -span);
+        for &m in &mids {
+            if m == a || m == b {
+                return Err(MapError::InconsistentObservations);
+            }
+            let cm = col_var[&m];
+            let e1 = model.expr().term(1.0, ca).term(-1.0, cm).term(-big, ne);
+            model.constraint(e1, Cmp::Le, -1.0);
+            let e2 = model.expr().term(1.0, cm).term(-1.0, cb).term(-big, ne);
+            model.constraint(e2, Cmp::Le, -1.0);
+            let w1 = model.expr().term(-1.0, ca).term(1.0, cm).term(-big, nw);
+            model.constraint(w1, Cmp::Le, -1.0);
+            let w2 = model.expr().term(-1.0, cm).term(1.0, cb).term(-big, nw);
+            model.constraint(w2, Cmp::Le, -1.0);
+        }
+    }
+
+    // ---- Known distinctness of co-classed tiles without direct paths -----
+    // Any two distinct CHAs occupy distinct tiles. Pairs that share both a
+    // row and a column class would collapse; pairs sharing a column class
+    // but having no ordering constraint (two LLC-only tiles, which cannot
+    // sink traffic) get an explicit disequality on rows.
+    let mut ordered: HashSet<(usize, usize)> = HashSet::new();
+    for &(a, b) in ge1.iter() {
+        ordered.insert((a, b));
+        ordered.insert((b, a));
+    }
+    let big_r = dim.rows as f64 + 1.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if col_class[i] == col_class[j] {
+                let (ri, rj) = (row_class[i], row_class[j]);
+                if ri == rj {
+                    return Err(MapError::InconsistentObservations);
+                }
+                if !ordered.contains(&(ri, rj)) {
+                    let d = model.bin_var("neq");
+                    model.set_branch_priority(d, 8);
+                    let a = model
+                        .expr()
+                        .term(1.0, row_var[&rj])
+                        .term(-1.0, row_var[&ri])
+                        .term(-big_r, d);
+                    model.constraint(a, Cmp::Le, -1.0);
+                    let b = model
+                        .expr()
+                        .term(1.0, row_var[&ri])
+                        .term(-1.0, row_var[&rj])
+                        .term(big_r, d);
+                    model.constraint(b, Cmp::Le, big_r - 1.0);
+                    ordered.insert((ri, rj));
+                    ordered.insert((rj, ri));
+                }
+            }
+        }
+    }
+
+    // ---- Indicators and objective (Sec. II-C.5/6) -------------------------
+    let mut obj = LinExpr::new();
+    let mut row_vars: Vec<(usize, Var)> = row_var.iter().map(|(&k, &v)| (k, v)).collect();
+    row_vars.sort_by_key(|&(k, _)| k);
+    let rv: Vec<Var> = row_vars.iter().map(|&(_, v)| v).collect();
+    add_axis_indicators(&mut model, &rv, dim.rows, &mut obj);
+    let mut col_vars: Vec<(usize, Var)> = col_var.iter().map(|(&k, &v)| (k, v)).collect();
+    col_vars.sort_by_key(|&(k, _)| k);
+    let cv: Vec<Var> = col_vars.iter().map(|&(_, v)| v).collect();
+    add_axis_indicators(&mut model, &cv, dim.cols, &mut obj);
+    model.minimize(obj);
+
+    let sol = model.solve()?;
+
+    let positions = (0..n)
+        .map(|i| {
+            TileCoord::new(
+                sol.int_value(row_var[&row_class[i]]) as usize,
+                sol.int_value(col_var[&col_class[i]]) as usize,
+            )
+        })
+        .collect();
+    Ok(Reconstruction {
+        positions,
+        stats: sol.stats(),
+        objective: sol.objective(),
+    })
+}
+
+/// The literal per-tile, per-path formulation of paper Sec. II-C, solved
+/// through the generic MILP presolve. Exponential in practice on full dies;
+/// used by fidelity tests on small instances.
+///
+/// # Errors
+///
+/// As for [`reconstruct`].
+pub fn reconstruct_full(obs: &ObservationSet, dim: GridDim) -> Result<Reconstruction, MapError> {
+    let n = obs.n_cha;
+    let mut model = Model::new();
+    let r: Vec<Var> = (0..n)
+        .map(|i| model.int_var(&format!("R{i}"), 0, dim.rows as i64 - 1))
+        .collect();
+    let c: Vec<Var> = (0..n)
+        .map(|i| model.int_var(&format!("C{i}"), 0, dim.cols as i64 - 1))
+        .collect();
+
+    let big = dim.cols as f64 + 1.0;
+    let mut anchored = false;
+    for p in &obs.paths {
+        let (s, e) = (p.source.index(), p.sink.index());
+        for &(k, dir) in &p.vertical {
+            let k = k.index();
+            // Alignment: C_k = C_s.
+            let align = model.expr().term(1.0, c[k]).term(-1.0, c[s]);
+            model.constraint(align, Cmp::Eq, 0.0);
+            match dir {
+                VerticalDir::Up => {
+                    let a = model.expr().term(1.0, r[s]).term(-1.0, r[k]);
+                    model.constraint(a, Cmp::Ge, 1.0);
+                    let b = model.expr().term(1.0, r[k]).term(-1.0, r[e]);
+                    model.constraint(b, Cmp::Ge, 0.0);
+                }
+                VerticalDir::Down => {
+                    let a = model.expr().term(1.0, r[k]).term(-1.0, r[s]);
+                    model.constraint(a, Cmp::Ge, 1.0);
+                    let b = model.expr().term(1.0, r[e]).term(-1.0, r[k]);
+                    model.constraint(b, Cmp::Ge, 0.0);
+                }
+            }
+        }
+        if !p.horizontal.is_empty() {
+            let ne = model.bin_var("NE");
+            let nw = model.bin_var("NW");
+            model.set_branch_priority(ne, 10);
+            model.set_branch_priority(nw, 10);
+            let sum = model.expr().term(1.0, ne).term(1.0, nw);
+            model.constraint(sum, Cmp::Eq, 1.0);
+            if !anchored {
+                model.constraint(LinExpr::from(ne), Cmp::Eq, 0.0);
+                anchored = true;
+            }
+            let east = model.expr().term(1.0, c[s]).term(-1.0, c[e]).term(-big, ne);
+            model.constraint(east, Cmp::Le, -1.0);
+            let west = model.expr().term(-1.0, c[s]).term(1.0, c[e]).term(-big, nw);
+            model.constraint(west, Cmp::Le, -1.0);
+            for &k in &p.horizontal {
+                let k = k.index();
+                // Alignment: R_k = R_e.
+                let align = model.expr().term(1.0, r[k]).term(-1.0, r[e]);
+                model.constraint(align, Cmp::Eq, 0.0);
+                if k == e {
+                    continue;
+                }
+                let e1 = model.expr().term(1.0, c[s]).term(-1.0, c[k]).term(-big, ne);
+                model.constraint(e1, Cmp::Le, -1.0);
+                let e2 = model.expr().term(1.0, c[k]).term(-1.0, c[e]).term(-big, ne);
+                model.constraint(e2, Cmp::Le, -1.0);
+                let w1 = model.expr().term(-1.0, c[s]).term(1.0, c[k]).term(-big, nw);
+                model.constraint(w1, Cmp::Le, -1.0);
+                let w2 = model.expr().term(-1.0, c[k]).term(1.0, c[e]).term(-big, nw);
+                model.constraint(w2, Cmp::Le, -1.0);
+            }
+        }
+    }
+
+    // Presolve collapses the alignment equalities, then the indicator
+    // machinery is added over the surviving class variables.
+    let mut pre = coremap_ilp::presolve::merge_equalities(&model).map_err(MapError::Ilp)?;
+    let mut obj = LinExpr::new();
+    let mut rset: Vec<Var> = Vec::new();
+    for &v in &r {
+        let m = pre.mapped(v);
+        if !rset.contains(&m) {
+            rset.push(m);
+        }
+    }
+    let mut cset: Vec<Var> = Vec::new();
+    for &v in &c {
+        let m = pre.mapped(v);
+        if !cset.contains(&m) {
+            cset.push(m);
+        }
+    }
+    add_axis_indicators(&mut pre.model, &rset, dim.rows, &mut obj);
+    add_axis_indicators(&mut pre.model, &cset, dim.cols, &mut obj);
+    pre.model.minimize(obj);
+    let sol = pre.model.solve()?;
+
+    let positions = (0..n)
+        .map(|i| {
+            TileCoord::new(
+                sol.value(pre.mapped(r[i])).round() as usize,
+                sol.value(pre.mapped(c[i])).round() as usize,
+            )
+        })
+        .collect();
+    Ok(Reconstruction {
+        positions,
+        stats: sol.stats(),
+        objective: sol.objective(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use coremap_mesh::{DieTemplate, Floorplan, FloorplanBuilder, TileCoord as TC};
+
+    /// A dense 3x3 block of active tiles (rows 2-4, cols 0-2): small enough
+    /// for the literal per-path formulation, dense enough that every row
+    /// and column relation is observable, i.e. reconstruction is
+    /// well-posed (up to the documented mirror/compaction ambiguities).
+    fn dense_block_plan() -> Floorplan {
+        let t = DieTemplate::SkylakeXcc;
+        let keep: Vec<TC> = (2..5)
+            .flat_map(|r| (0..2).map(move |c| TC::new(r, c)))
+            .collect();
+        let disable = t
+            .core_capable_positions()
+            .into_iter()
+            .filter(|p| !keep.contains(p));
+        FloorplanBuilder::new(t)
+            .disable_all(disable)
+            .build()
+            .unwrap()
+    }
+
+    /// A sparse, partially-observable die: reconstruction is *not* unique,
+    /// so it is checked for observation consistency rather than truth
+    /// match.
+    fn sparse_plan() -> Floorplan {
+        let t = DieTemplate::SkylakeXcc;
+        let keep = [
+            TC::new(0, 0),
+            TC::new(2, 0),
+            TC::new(0, 1),
+            TC::new(3, 1),
+            TC::new(1, 2),
+            TC::new(4, 3),
+            TC::new(0, 4),
+            TC::new(2, 5),
+        ];
+        let disable = t
+            .core_capable_positions()
+            .into_iter()
+            .filter(|p| !keep.contains(p));
+        FloorplanBuilder::new(t)
+            .disable_all(disable)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn merged_reconstruction_recovers_full_die() {
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .build()
+            .unwrap();
+        let obs = ObservationSet::synthetic(&plan);
+        let rec = reconstruct(&obs, plan.dim()).unwrap();
+        assert!(verify::positions_match(&rec.positions, &plan));
+    }
+
+    #[test]
+    fn merged_reconstruction_explains_sparse_die_observations() {
+        // With only 8 of 28 tiles active, several placements are
+        // legitimately consistent with the partial observations (paper
+        // Sec. II-D); the solver must return one of them.
+        let plan = sparse_plan();
+        let obs = ObservationSet::synthetic(&plan);
+        let rec = reconstruct(&obs, plan.dim()).unwrap();
+        assert!(verify::observations_consistent(
+            &rec.positions,
+            &obs,
+            plan.dim()
+        ));
+    }
+
+    #[test]
+    fn dense_block_reconstructs_relative_truth() {
+        let plan = dense_block_plan();
+        let obs = ObservationSet::synthetic(&plan);
+        let rec = reconstruct(&obs, plan.dim()).unwrap();
+        assert!(verify::positions_match_relative(&rec.positions, &plan));
+        assert!(verify::observations_consistent(
+            &rec.positions,
+            &obs,
+            plan.dim()
+        ));
+    }
+
+    #[test]
+    fn full_formulation_matches_merged_on_dense_block() {
+        let plan = dense_block_plan();
+        let obs = ObservationSet::synthetic(&plan);
+        let merged = reconstruct(&obs, plan.dim()).unwrap();
+        let full = reconstruct_full(&obs, plan.dim()).unwrap();
+        // Both must be valid relative reconstructions of the same truth.
+        assert!(verify::positions_match_relative(&merged.positions, &plan));
+        assert!(verify::positions_match_relative(&full.positions, &plan));
+        assert!(verify::observations_consistent(
+            &full.positions,
+            &obs,
+            plan.dim()
+        ));
+    }
+
+    #[test]
+    fn reconstruction_handles_llc_only_tiles() {
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .llc_only(TC::new(0, 2))
+            .llc_only(TC::new(4, 4))
+            .disable(TC::new(2, 3))
+            .disable(TC::new(3, 0))
+            .build()
+            .unwrap();
+        let obs = ObservationSet::synthetic(&plan);
+        let rec = reconstruct(&obs, plan.dim()).unwrap();
+        assert!(verify::positions_match_relative(&rec.positions, &plan));
+    }
+
+    #[test]
+    fn reconstruction_recovers_icelake_die() {
+        let plan = FloorplanBuilder::new(DieTemplate::IceLakeXcc)
+            .disable_all([TC::new(0, 2), TC::new(1, 5), TC::new(3, 3), TC::new(5, 6)])
+            .build()
+            .unwrap();
+        let obs = ObservationSet::synthetic(&plan);
+        let rec = reconstruct(&obs, plan.dim()).unwrap();
+        assert!(verify::positions_match_relative(&rec.positions, &plan));
+    }
+
+    #[test]
+    fn positions_are_pairwise_distinct() {
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .disable(TC::new(2, 2))
+            .build()
+            .unwrap();
+        let obs = ObservationSet::synthetic(&plan);
+        let rec = reconstruct(&obs, plan.dim()).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for &p in &rec.positions {
+            assert!(seen.insert(p), "duplicate position {p}");
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! End-to-end mapping pipeline driver.
+
+use coremap_mesh::Ppin;
+use coremap_uncore::msr::MSR_PPIN;
+use coremap_uncore::RingClass;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::cha_map;
+use crate::eviction;
+use crate::ilp_model;
+use crate::traffic;
+use crate::{CoreMap, MapError, MapTarget, ObservationSet};
+
+/// Intermediate results of a mapping run, exposed so callers can study or
+/// persist the raw measurements (e.g. re-solve offline with a different
+/// formulation) without re-measuring.
+#[derive(Debug, Clone)]
+pub struct MapDiagnostics {
+    /// Every path observation fed to the ILP.
+    pub observations: ObservationSet,
+    /// Branch-and-bound statistics of the reconstruction solve.
+    pub ilp_stats: coremap_ilp::SolveStats,
+    /// Objective value of the tightest map.
+    pub ilp_objective: f64,
+    /// Total machine operations the measurement campaign issued.
+    pub machine_ops: u64,
+}
+
+/// Tunables of the mapping pipeline.
+#[derive(Debug, Clone)]
+pub struct MapperConfig {
+    /// Contention iterations per slice-hash probe (Sec. II-A).
+    pub probe_iters: usize,
+    /// Eviction-set thrash rounds per `(core, slice)` test (Sec. II-A).
+    pub thrash_rounds: usize,
+    /// Ping-pong iterations per path observation (Sec. II-B).
+    pub ping_iters: usize,
+    /// Subsampling stride over ordered core pairs (1 = observe all pairs;
+    /// larger strides feed the observation-budget ablation).
+    pub pair_stride: usize,
+    /// Seed for the random line sampling.
+    pub seed: u64,
+    /// Use the literal per-tile/per-path ILP formulation instead of the
+    /// class-merged one (slow; for fidelity experiments).
+    pub full_formulation: bool,
+    /// Which mesh ring class to observe. The paper monitors BL (data);
+    /// [`RingClass::Ad`] switches step 2 to the request-ring campaign of
+    /// [`traffic::observe_all_ad`]. [`RingClass::Iv`] carries no directed
+    /// pattern usable for mapping and is rejected.
+    pub ring: RingClass,
+}
+
+impl Default for MapperConfig {
+    fn default() -> Self {
+        Self {
+            probe_iters: 8,
+            thrash_rounds: 3,
+            ping_iters: 16,
+            pair_stride: 1,
+            seed: 0x6d61_7070,
+            full_formulation: false,
+            ring: RingClass::Bl,
+        }
+    }
+}
+
+/// The complete three-step mapping methodology (paper Sec. II).
+///
+/// ```
+/// use coremap_mesh::{DieTemplate, FloorplanBuilder};
+/// use coremap_uncore::{MachineConfig, XeonMachine};
+/// use coremap_core::CoreMapper;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc).build()?;
+/// let mut machine = XeonMachine::new(plan, MachineConfig::default());
+/// let map = CoreMapper::new().map(&mut machine)?;
+/// println!("{}", map.render());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CoreMapper {
+    config: MapperConfig,
+}
+
+impl CoreMapper {
+    /// A mapper with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A mapper with explicit configuration.
+    pub fn with_config(config: MapperConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MapperConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline against a machine and returns the recovered
+    /// [`CoreMap`] (keyed by PPIN).
+    ///
+    /// # Errors
+    ///
+    /// Any [`MapError`]: missing privileges, probing budget exhaustion,
+    /// ambiguous measurements under extreme noise, or ILP infeasibility.
+    pub fn map<T: MapTarget>(&self, machine: &mut T) -> Result<CoreMap, MapError> {
+        self.map_with_diagnostics(machine).map(|(map, _)| map)
+    }
+
+    /// Runs the pipeline and additionally returns the intermediate
+    /// measurement and solver data ([`MapDiagnostics`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`map`](Self::map).
+    pub fn map_with_diagnostics<T: MapTarget>(
+        &self,
+        machine: &mut T,
+    ) -> Result<(CoreMap, MapDiagnostics), MapError> {
+        // Root check up front: the PPIN read doubles as the privilege test
+        // and keys the result to the physical chip.
+        let ppin = Ppin::new(machine.read_msr(MSR_PPIN)?);
+
+        // Step 1a: slice eviction sets via LLC-lookup probing.
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let sets = eviction::build_all_sets(machine, &mut rng, self.config.probe_iters)?;
+
+        // Step 1b: OS core ID <-> CHA ID mapping.
+        let mapping = cha_map::discover(machine, &sets, self.config.thrash_rounds)?;
+
+        // Step 2: all-pairs traffic observation on the configured ring.
+        let observations = match self.config.ring {
+            RingClass::Bl => traffic::observe_all(
+                machine,
+                &mapping,
+                &sets,
+                self.config.ping_iters,
+                self.config.pair_stride,
+            )?,
+            RingClass::Ad => traffic::observe_all_ad(
+                machine,
+                &mapping,
+                &sets,
+                (self.config.ping_iters / 8).max(2),
+            )?,
+            RingClass::Iv => return Err(MapError::InconsistentObservations),
+        };
+
+        // Step 3: ILP reconstruction.
+        let rec = if self.config.full_formulation {
+            ilp_model::reconstruct_full(&observations, machine.grid_dim())?
+        } else {
+            ilp_model::reconstruct(&observations, machine.grid_dim())?
+        };
+
+        let map = CoreMap::new(
+            machine.grid_dim(),
+            rec.positions,
+            mapping.core_to_cha,
+            mapping.llc_only,
+        )
+        .with_ppin(ppin);
+        let diagnostics = MapDiagnostics {
+            observations,
+            ilp_stats: rec.stats,
+            ilp_objective: rec.objective,
+            machine_ops: machine.op_count(),
+        };
+        Ok((map, diagnostics))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use coremap_mesh::{DieTemplate, FloorplanBuilder, TileCoord};
+    use coremap_uncore::{MachineConfig, MsrError, NoiseModel, XeonMachine};
+
+    #[test]
+    fn maps_full_skx_die_exactly() {
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .build()
+            .unwrap();
+        let truth = plan.clone();
+        let mut m = XeonMachine::new(plan, MachineConfig::default());
+        let map = CoreMapper::new().map(&mut m).unwrap();
+        assert!(verify::matches_exactly(&map, &truth));
+        assert_eq!(map.ppin(), Some(MachineConfig::default().ppin));
+    }
+
+    #[test]
+    fn maps_sparse_die_with_llc_only_tiles() {
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .disable(TileCoord::new(0, 3))
+            .disable(TileCoord::new(3, 2))
+            .llc_only(TileCoord::new(2, 1))
+            .llc_only(TileCoord::new(4, 5))
+            .build()
+            .unwrap();
+        let truth = plan.clone();
+        let mut m = XeonMachine::new(plan, MachineConfig::default());
+        let map = CoreMapper::new().map(&mut m).unwrap();
+        assert!(verify::matches_relative(&map, &truth));
+    }
+
+    #[test]
+    fn diagnostics_expose_measurement_campaign() {
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .build()
+            .unwrap();
+        let mut m = XeonMachine::new(plan, MachineConfig::default());
+        let (map, diag) = CoreMapper::new().map_with_diagnostics(&mut m).unwrap();
+        // All-pairs campaign over 28 cores: n(n-1) paths.
+        assert_eq!(diag.observations.paths.len(), 28 * 27);
+        assert!(diag.ilp_stats.nodes >= 1);
+        assert!(diag.machine_ops > 1000);
+        // The observations must themselves validate the returned map.
+        let positions: Vec<_> = (0..map.cha_count())
+            .map(|i| map.coord_of_cha(coremap_mesh::ChaId::new(i as u16)))
+            .collect();
+        assert!(crate::verify::observations_consistent(
+            &positions,
+            &diag.observations,
+            map.dim()
+        ));
+    }
+
+    #[test]
+    fn ad_ring_campaign_also_recovers_the_map() {
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .llc_only(TileCoord::new(2, 1))
+            .disable(TileCoord::new(0, 3))
+            .build()
+            .unwrap();
+        let truth = plan.clone();
+        let mut m = XeonMachine::new(plan, MachineConfig::default());
+        let cfg = MapperConfig {
+            ring: RingClass::Ad,
+            ..MapperConfig::default()
+        };
+        let map = CoreMapper::with_config(cfg).map(&mut m).unwrap();
+        assert!(verify::matches_relative(&map, &truth));
+    }
+
+    #[test]
+    fn iv_ring_is_rejected() {
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .build()
+            .unwrap();
+        let mut m = XeonMachine::new(plan, MachineConfig::default());
+        let cfg = MapperConfig {
+            ring: RingClass::Iv,
+            ..MapperConfig::default()
+        };
+        assert!(CoreMapper::with_config(cfg).map(&mut m).is_err());
+    }
+
+    #[test]
+    fn unprivileged_mapping_fails_cleanly() {
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .build()
+            .unwrap();
+        let mut m = XeonMachine::new(plan, MachineConfig::default());
+        m.set_privileged(false);
+        let err = CoreMapper::new().map(&mut m).unwrap_err();
+        assert_eq!(err, MapError::Msr(MsrError::PermissionDenied));
+    }
+
+    #[test]
+    fn mapping_survives_light_noise() {
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .disable(TileCoord::new(2, 2))
+            .build()
+            .unwrap();
+        let truth = plan.clone();
+        let mut m = XeonMachine::new(
+            plan,
+            MachineConfig {
+                noise: NoiseModel::light(),
+                noise_seed: 5,
+                ..MachineConfig::default()
+            },
+        );
+        let cfg = MapperConfig {
+            probe_iters: 16,
+            thrash_rounds: 6,
+            ping_iters: 32,
+            ..MapperConfig::default()
+        };
+        let map = CoreMapper::with_config(cfg).map(&mut m).unwrap();
+        assert!(verify::matches_relative(&map, &truth));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests of the ILP reconstruction over randomized floorplans.
+//!
+//! Dense rectangular blocks are fully observable, so reconstruction must
+//! recover the exact relative layout; arbitrary sparse layouts may be
+//! genuinely ambiguous, so they are checked for observation consistency
+//! (every measured ingress event reproduced by the recovered placement).
+
+use coremap_core::ilp_model::reconstruct;
+use coremap_core::traffic::ObservationSet;
+use coremap_core::verify;
+use coremap_mesh::{DieTemplate, Floorplan, FloorplanBuilder, TileCoord};
+use proptest::prelude::*;
+
+/// A dense block of active tiles with optional LLC-only tiles inside.
+fn dense_block(
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+    llc_mask: u8,
+) -> Option<Floorplan> {
+    let t = DieTemplate::SkylakeXcc;
+    let capable = t.core_capable_positions();
+    let keep: Vec<TileCoord> = (row0..row0 + rows)
+        .flat_map(|r| (col0..col0 + cols).map(move |c| TileCoord::new(r, c)))
+        .filter(|p| capable.contains(p))
+        .collect();
+    // Dense blocks must not be broken by the IMC row.
+    if keep.len() != rows * cols {
+        return None;
+    }
+    let disable: Vec<TileCoord> = capable.into_iter().filter(|p| !keep.contains(p)).collect();
+    let mut builder = FloorplanBuilder::new(t).disable_all(disable);
+    let mut core_left = keep.len();
+    for (i, &p) in keep.iter().enumerate() {
+        if i < 8 && (llc_mask >> i) & 1 == 1 && core_left > 2 {
+            builder = builder.llc_only(p);
+            core_left -= 1;
+        }
+    }
+    builder.build().ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dense_blocks_reconstruct_their_relative_truth(
+        row0 in 2usize..4,
+        col0 in 0usize..3,
+        rows in 2usize..4,
+        cols in 2usize..3,
+        llc_mask in 0u8..16,
+    ) {
+        prop_assume!(row0 + rows <= 5 && col0 + cols <= 6);
+        let Some(plan) = dense_block(row0, col0, rows, cols, llc_mask) else {
+            return Ok(()); // block collided with the IMC row
+        };
+        let obs = ObservationSet::synthetic(&plan);
+        let rec = reconstruct(&obs, plan.dim()).expect("solvable");
+        prop_assert!(
+            verify::observations_consistent(&rec.positions, &obs, plan.dim()),
+            "reconstruction must explain all observations"
+        );
+        // Dense blocks without LLC-only tiles are fully observable.
+        if llc_mask == 0 {
+            prop_assert!(
+                verify::positions_match_relative(&rec.positions, &plan),
+                "dense block must match relative truth"
+            );
+        }
+    }
+
+    #[test]
+    fn random_sparse_layouts_yield_consistent_maps(seed in 0u64..64) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let t = DieTemplate::SkylakeXcc;
+        let mut capable = t.core_capable_positions();
+        capable.shuffle(&mut rng);
+        // Keep 10-14 active tiles: sparse enough to be ambiguous, small
+        // enough for fast solves.
+        let keep_n = 10 + (seed as usize % 5);
+        let disable: Vec<TileCoord> = capable[keep_n..].to_vec();
+        let plan = FloorplanBuilder::new(t)
+            .disable_all(disable)
+            .build()
+            .expect("plan");
+        let obs = ObservationSet::synthetic(&plan);
+        let rec = reconstruct(&obs, plan.dim()).expect("solvable");
+        prop_assert!(verify::observations_consistent(&rec.positions, &obs, plan.dim()));
+        // Positions must be pairwise distinct even when ambiguous.
+        let mut seen = std::collections::HashSet::new();
+        for &p in &rec.positions {
+            prop_assert!(seen.insert(p), "duplicate position {p}");
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Fleet errors.
+
+use std::fmt;
+
+use crate::CpuModel;
+
+/// Error generating fleet instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// Requested instance index exceeds the model's population.
+    InstanceOutOfRange {
+        /// The model.
+        model: CpuModel,
+        /// The requested index.
+        index: usize,
+        /// The population size.
+        population: usize,
+    },
+    /// Internal floorplan construction failed (indicates a sampler bug).
+    Floorplan(coremap_mesh::FloorplanError),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::InstanceOutOfRange {
+                model,
+                index,
+                population,
+            } => write!(
+                f,
+                "instance {index} out of range for {model} (population {population})"
+            ),
+            FleetError::Floorplan(e) => write!(f, "floorplan construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Floorplan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<coremap_mesh::FloorplanError> for FleetError {
+    fn from(e: coremap_mesh::FloorplanError) -> Self {
+        FleetError::Floorplan(e)
+    }
+}

@@ -1,0 +1,247 @@
+//! Fleet and instance types.
+
+use coremap_mesh::{Floorplan, FloorplanBuilder, Ppin, TileCoord};
+use coremap_uncore::{MachineConfig, NoiseModel, XeonMachine};
+
+use crate::sampler;
+use crate::{CpuModel, FleetError};
+
+/// A deterministic simulated cloud fleet: every `(model, index)` pair
+/// resolves to the same instance for a given fleet seed, the way a given
+/// EC2 bare-metal host always exposes the same physical chip.
+#[derive(Debug, Clone)]
+pub struct CloudFleet {
+    seed: u64,
+    noise: NoiseModel,
+}
+
+impl CloudFleet {
+    /// A fleet with the given generation seed and quiet machines.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            noise: NoiseModel::quiet(),
+        }
+    }
+
+    /// Sets the background mesh noise booted machines will exhibit.
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// The fleet seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of rentable instances of a model (the paper's populations:
+    /// 100 per AWS SKU, 10 for the OCI Ice Lake SKU).
+    pub fn population(&self, model: CpuModel) -> usize {
+        model.paper_population()
+    }
+
+    /// Materializes instance `index` of `model`.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::InstanceOutOfRange`] if `index` exceeds the
+    /// population.
+    pub fn instance(&self, model: CpuModel, index: usize) -> Result<CloudInstance, FleetError> {
+        let population = self.population(model);
+        if index >= population {
+            return Err(FleetError::InstanceOutOfRange {
+                model,
+                index,
+                population,
+            });
+        }
+        let pattern = sampler::instance_patterns(model, self.seed)[index];
+        let plan = build_floorplan(model, pattern, self.seed)?;
+        let (ppin, hash_secret, noise_seed) = sampler::instance_secrets(model, index, self.seed);
+        Ok(CloudInstance {
+            model,
+            index,
+            pattern,
+            ppin: Ppin::new(ppin),
+            hash_secret,
+            noise_seed,
+            noise: self.noise,
+            plan,
+        })
+    }
+
+    /// Iterates over the whole population of a model.
+    pub fn instances(&self, model: CpuModel) -> impl Iterator<Item = CloudInstance> + '_ {
+        (0..self.population(model)).map(move |i| {
+            self.instance(model, i)
+                .expect("index below population is valid")
+        })
+    }
+}
+
+/// Builds the ground-truth floorplan of `(model, pattern)`.
+fn build_floorplan(
+    model: CpuModel,
+    pattern: usize,
+    fleet_seed: u64,
+) -> Result<Floorplan, FleetError> {
+    let disabled = sampler::disabled_set(model, pattern, fleet_seed);
+    let mut builder = FloorplanBuilder::new(model.template()).disable_all(disabled.clone());
+
+    let llc_count = model.llc_only_count();
+    if llc_count > 0 {
+        // Determine target LLC-only CHA IDs, then mark the tiles that will
+        // receive those IDs under the die's numbering over enabled tiles.
+        let target_chas: Vec<u16> = match model {
+            CpuModel::Platinum8259CL => {
+                let (a, b) = sampler::llc_case_8259cl(pattern);
+                let mut v = vec![a, b];
+                v.sort_unstable();
+                v
+            }
+            CpuModel::Gold6354 => sampler::llc_chas_6354(pattern, fleet_seed),
+            _ => unreachable!("only 8259CL and 6354 have LLC-only tiles"),
+        };
+        let enabled: Vec<TileCoord> = model
+            .template()
+            .core_capable_positions()
+            .into_iter()
+            .filter(|c| !disabled.contains(c))
+            .collect();
+        for &cha in &target_chas {
+            builder = builder.llc_only(enabled[cha as usize]);
+        }
+    }
+    Ok(builder.build()?)
+}
+
+/// One rented bare-metal instance: a concrete chip with hidden layout and
+/// per-chip secrets.
+#[derive(Debug, Clone)]
+pub struct CloudInstance {
+    model: CpuModel,
+    index: usize,
+    pattern: usize,
+    ppin: Ppin,
+    hash_secret: u64,
+    noise_seed: u64,
+    noise: NoiseModel,
+    plan: Floorplan,
+}
+
+impl CloudInstance {
+    /// The instance's SKU.
+    pub fn model(&self) -> CpuModel {
+        self.model
+    }
+
+    /// Index within the fleet.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Ground-truth pattern index (verification only — a real tenant
+    /// cannot see this).
+    pub fn pattern(&self) -> usize {
+        self.pattern
+    }
+
+    /// The chip's PPIN.
+    pub fn ppin(&self) -> Ppin {
+        self.ppin
+    }
+
+    /// Ground-truth floorplan (verification only).
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.plan
+    }
+
+    /// Boots the instance into a measurable machine.
+    pub fn boot(&self) -> XeonMachine {
+        XeonMachine::new(
+            self.plan.clone(),
+            MachineConfig {
+                ppin: self.ppin,
+                slice_hash_secret: self.hash_secret,
+                noise_seed: self.noise_seed,
+                noise: self.noise,
+                ..MachineConfig::default()
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populations_match_paper() {
+        let fleet = CloudFleet::with_seed(1);
+        assert_eq!(fleet.population(CpuModel::Platinum8124M), 100);
+        assert_eq!(fleet.population(CpuModel::Gold6354), 10);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let fleet = CloudFleet::with_seed(1);
+        let err = fleet.instance(CpuModel::Gold6354, 10).unwrap_err();
+        assert!(matches!(err, FleetError::InstanceOutOfRange { .. }));
+    }
+
+    #[test]
+    fn instances_are_deterministic() {
+        let fleet = CloudFleet::with_seed(9);
+        let a = fleet.instance(CpuModel::Platinum8175M, 17).unwrap();
+        let b = fleet.instance(CpuModel::Platinum8175M, 17).unwrap();
+        assert_eq!(a.ppin(), b.ppin());
+        assert_eq!(a.floorplan(), b.floorplan());
+        assert_eq!(a.pattern(), b.pattern());
+    }
+
+    #[test]
+    fn instance_counts_match_model_specs() {
+        let fleet = CloudFleet::with_seed(4);
+        for model in CpuModel::ALL {
+            let inst = fleet.instance(model, 0).unwrap();
+            assert_eq!(inst.floorplan().core_count(), model.core_count(), "{model}");
+            assert_eq!(inst.floorplan().cha_count(), model.cha_count(), "{model}");
+        }
+    }
+
+    #[test]
+    fn llc_only_cha_ids_match_table1_case() {
+        let fleet = CloudFleet::with_seed(12);
+        for inst in fleet.instances(CpuModel::Platinum8259CL).take(20) {
+            let (a, b) = sampler::llc_case_8259cl(inst.pattern());
+            let mut expected = vec![
+                coremap_mesh::ChaId::new(a.min(b)),
+                coremap_mesh::ChaId::new(a.max(b)),
+            ];
+            expected.sort();
+            assert_eq!(inst.floorplan().llc_only_chas(), expected);
+        }
+    }
+
+    #[test]
+    fn ppins_are_unique_across_a_model() {
+        let fleet = CloudFleet::with_seed(2);
+        let mut seen = std::collections::HashSet::new();
+        for inst in fleet.instances(CpuModel::Platinum8124M) {
+            assert!(seen.insert(inst.ppin()));
+        }
+    }
+
+    #[test]
+    fn booted_machine_reflects_instance() {
+        let fleet = CloudFleet::with_seed(3);
+        let inst = fleet.instance(CpuModel::Platinum8124M, 5).unwrap();
+        let m = inst.boot();
+        assert_eq!(m.core_count(), 18);
+        assert_eq!(
+            m.read_msr(coremap_uncore::msr::MSR_PPIN).unwrap(),
+            inst.ppin().value()
+        );
+    }
+}

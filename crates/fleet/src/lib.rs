@@ -1,0 +1,48 @@
+//! # coremap-fleet
+//!
+//! Cloud-fleet substrate for the paper's measurement study (Sec. III): the
+//! authors rented 100 bare-metal instances each of three Xeon models on AWS
+//! (Platinum 8124M / 8175M / 8259CL) plus 10 Ice Lake Gold 6354 instances
+//! on OCI, and mapped every one. This crate generates an equivalent
+//! simulated fleet:
+//!
+//! * [`CpuModel`] describes the four SKUs (die template, enabled core
+//!   count, LLC-only tile count);
+//! * [`CloudFleet`] deterministically instantiates per-instance floorplans
+//!   whose *population statistics* reproduce the paper's findings — the
+//!   exact OS-core↔CHA mapping tables of Table I (including the seven
+//!   8259CL variants with their 62/33/1/1/1/1/1 split) and the location
+//!   pattern diversity of Table II (14 / 26 / 53 / 6 unique patterns with
+//!   the reported top-4 frequencies);
+//! * [`stats`] computes those tables back from *measured* maps, and
+//!   [`MapRegistry`] persists PPIN-keyed [`CoreMap`](coremap_core::CoreMap)s
+//!   the way an attacker would catalogue mapped instances.
+//!
+//! ```
+//! use coremap_fleet::{CloudFleet, CpuModel};
+//!
+//! # fn main() -> Result<(), coremap_fleet::FleetError> {
+//! let fleet = CloudFleet::with_seed(2022);
+//! let inst = fleet.instance(CpuModel::Platinum8259CL, 3)?;
+//! assert_eq!(inst.floorplan().core_count(), 24);
+//! assert_eq!(inst.floorplan().cha_count(), 26); // two LLC-only tiles
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+mod error;
+mod fleet;
+mod model;
+mod registry;
+pub mod render;
+pub mod sampler;
+pub mod stats;
+
+pub use error::FleetError;
+pub use fleet::{CloudFleet, CloudInstance};
+pub use model::CpuModel;
+pub use registry::MapRegistry;

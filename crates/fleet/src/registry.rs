@@ -1,0 +1,128 @@
+//! PPIN-keyed persistence of recovered maps.
+//!
+//! The mapping step needs root, but the recovered locations are permanent
+//! per chip (paper Sec. IV): an attacker maps instances once, stores the
+//! result keyed by PPIN, and any later (user-level) tenancy on a known chip
+//! can reuse the map.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+
+use coremap_core::CoreMap;
+use coremap_mesh::Ppin;
+use serde::{Deserialize, Serialize};
+
+/// A registry of recovered core maps keyed by PPIN.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct MapRegistry {
+    maps: BTreeMap<u64, CoreMap>,
+}
+
+impl MapRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered chips.
+    pub fn len(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.maps.is_empty()
+    }
+
+    /// Registers a map under its PPIN (replacing any previous map for the
+    /// same chip). Maps without a PPIN are rejected.
+    ///
+    /// Returns whether the map was inserted.
+    pub fn insert(&mut self, map: CoreMap) -> bool {
+        match map.ppin() {
+            Some(ppin) => {
+                self.maps.insert(ppin.value(), map);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Looks up the map of a chip.
+    pub fn get(&self, ppin: Ppin) -> Option<&CoreMap> {
+        self.maps.get(&ppin.value())
+    }
+
+    /// Iterates over `(ppin, map)` pairs in PPIN order.
+    pub fn iter(&self) -> impl Iterator<Item = (Ppin, &CoreMap)> {
+        self.maps.iter().map(|(&p, m)| (Ppin::new(p), m))
+    }
+
+    /// Serializes the registry as JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O and serialization errors.
+    pub fn save<W: Write>(&self, writer: W) -> Result<(), serde_json::Error> {
+        serde_json::to_writer_pretty(writer, self)
+    }
+
+    /// Loads a registry from JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O and deserialization errors.
+    pub fn load<R: Read>(reader: R) -> Result<Self, serde_json::Error> {
+        serde_json::from_reader(reader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coremap_mesh::{ChaId, GridDim, TileCoord};
+
+    fn map(ppin: u64) -> CoreMap {
+        CoreMap::new(
+            GridDim::new(1, 2),
+            vec![TileCoord::new(0, 0), TileCoord::new(0, 1)],
+            vec![ChaId::new(0), ChaId::new(1)],
+            vec![],
+        )
+        .with_ppin(Ppin::new(ppin))
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut r = MapRegistry::new();
+        assert!(r.insert(map(7)));
+        assert!(r.insert(map(9)));
+        assert_eq!(r.len(), 2);
+        assert!(r.get(Ppin::new(7)).is_some());
+        assert!(r.get(Ppin::new(8)).is_none());
+    }
+
+    #[test]
+    fn unkeyed_map_rejected() {
+        let mut r = MapRegistry::new();
+        let unkeyed = CoreMap::new(
+            GridDim::new(1, 1),
+            vec![TileCoord::new(0, 0)],
+            vec![ChaId::new(0)],
+            vec![],
+        );
+        assert!(!r.insert(unkeyed));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut r = MapRegistry::new();
+        r.insert(map(1));
+        r.insert(map(2));
+        let mut buf = Vec::new();
+        r.save(&mut buf).unwrap();
+        let back = MapRegistry::load(buf.as_slice()).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,67 @@
+//! ASCII rendering of ground-truth floorplans (Fig. 4/5 style).
+//!
+//! Recovered maps render through [`CoreMap::render`](coremap_core::CoreMap);
+//! this module renders the hidden truth for side-by-side comparison in the
+//! experiment harnesses.
+
+use std::fmt::Write;
+
+use coremap_mesh::{Floorplan, TileCoord, TileKind};
+
+/// Renders a floorplan as a grid of `os/cha`, `LLC/cha`, `IMC`, `SYS` and
+/// `.` (disabled) cells.
+pub fn render_floorplan(plan: &Floorplan) -> String {
+    let dim = plan.dim();
+    let mut cells: Vec<Vec<String>> = Vec::with_capacity(dim.rows);
+    for row in 0..dim.rows {
+        let mut line = Vec::with_capacity(dim.cols);
+        for col in 0..dim.cols {
+            let t = plan.tile(TileCoord::new(row, col));
+            let cell = match t.kind() {
+                TileKind::Core { cha, core } => format!("{}/{}", core.index(), cha.index()),
+                TileKind::LlcOnly { cha } => format!("LLC/{}", cha.index()),
+                TileKind::Imc => "IMC".to_owned(),
+                TileKind::System => "SYS".to_owned(),
+                TileKind::Disabled => ".".to_owned(),
+            };
+            line.push(cell);
+        }
+        cells.push(line);
+    }
+    let width = cells
+        .iter()
+        .flat_map(|l| l.iter().map(String::len))
+        .max()
+        .unwrap_or(1);
+    let mut out = String::new();
+    for line in cells {
+        for (i, cell) in line.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:>width$}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coremap_mesh::{DieTemplate, FloorplanBuilder};
+
+    #[test]
+    fn render_shows_all_tile_kinds() {
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .disable(TileCoord::new(0, 2))
+            .llc_only(TileCoord::new(4, 4))
+            .build()
+            .unwrap();
+        let r = render_floorplan(&plan);
+        assert!(r.contains("IMC"));
+        assert!(r.contains("LLC/"));
+        assert!(r.contains('.'));
+        assert_eq!(r.lines().count(), 5);
+    }
+}

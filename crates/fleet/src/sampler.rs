@@ -1,0 +1,271 @@
+//! Pattern allocation: which floorplan each fleet instance receives.
+//!
+//! The paper's central fleet finding (Table II) is that instances of one SKU
+//! do *not* share a single layout: defective/fused-off tiles differ between
+//! chips, with a strongly skewed distribution (a dominant bin pattern plus a
+//! long tail). The sampler reproduces the reported distributions exactly:
+//! each model has a fixed list of `(pattern, instance-count)` allocations
+//! summing to the paper's population, and each pattern index expands
+//! deterministically into a concrete disabled-tile set (and, where the SKU
+//! has them, LLC-only tile placements reproducing the Table I ID-mapping
+//! cases).
+
+use coremap_mesh::TileCoord;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::CpuModel;
+
+/// Paper Table II: instance counts of the distinct location patterns, most
+/// frequent first. Sums to the model's paper population.
+pub fn pattern_counts(model: CpuModel) -> Vec<usize> {
+    match model {
+        // 14 unique patterns, top-4 = 53/18/5/5.
+        CpuModel::Platinum8124M => vec![53, 18, 5, 5, 3, 2, 2, 2, 2, 2, 2, 2, 1, 1],
+        // 26 unique patterns, top-4 = 52/7/7/6.
+        CpuModel::Platinum8175M => {
+            let mut v = vec![52, 7, 7, 6, 2, 2, 2, 2, 2, 2];
+            v.extend(std::iter::repeat_n(1, 16));
+            v
+        }
+        // 53 unique patterns, top-4 = 19/5/4/4.
+        CpuModel::Platinum8259CL => {
+            let mut v = vec![19, 5, 4, 4];
+            v.extend(std::iter::repeat_n(2, 19));
+            v.extend(std::iter::repeat_n(1, 30));
+            v
+        }
+        // 6 unique patterns over 10 instances (Sec. III-B).
+        CpuModel::Gold6354 => vec![3, 2, 2, 1, 1, 1],
+    }
+}
+
+/// Paper Table I: the seven OS-core↔CHA mapping cases of the 8259CL,
+/// identified by the two CHA IDs whose tiles are LLC-only, with their
+/// instance counts.
+pub const TABLE1_8259CL_CASES: [((u16, u16), usize); 7] = [
+    ((3, 25), 62),
+    ((2, 25), 33),
+    ((5, 25), 1),
+    ((3, 23), 1),
+    ((16, 2), 1),
+    ((24, 3), 1),
+    ((16, 3), 1),
+];
+
+/// The Table I LLC-only CHA pair assigned to an 8259CL pattern index.
+///
+/// Pattern counts are `[19,5,4,4] + 19 x 2 + 30 x 1`; the case populations
+/// (62/33/1/1/1/1/1) are covered by assigning:
+///
+/// * case (3,25): patterns 0–3 and the first 15 two-count patterns
+///   (19+5+4+4 + 15*2 = 62),
+/// * case (2,25): the remaining 4 two-count patterns and the first 25
+///   one-count patterns (8 + 25 = 33),
+/// * the five rare cases: the last 5 one-count patterns.
+pub fn llc_case_8259cl(pattern: usize) -> (u16, u16) {
+    match pattern {
+        0..=18 => (3, 25),
+        19..=47 => (2, 25),
+        48 => (5, 25),
+        49 => (3, 23),
+        50 => (16, 2),
+        51 => (24, 3),
+        52 => (16, 3),
+        _ => panic!("8259CL has 53 patterns, got index {pattern}"),
+    }
+}
+
+/// The LLC-only CHA IDs of a Gold 6354 pattern. Pattern 0 reproduces the
+/// paper's Fig. 5 example (CHAs 0, 2, 4, 12, 15, 18, 21, 24 are LLC-only);
+/// other patterns draw deterministic variations.
+pub fn llc_chas_6354(pattern: usize, fleet_seed: u64) -> Vec<u16> {
+    if pattern == 0 {
+        return vec![0, 2, 4, 12, 15, 18, 21, 24];
+    }
+    let mut rng = seeded_rng(fleet_seed, CpuModel::Gold6354, pattern as u64, 0xA5);
+    let cha_count = CpuModel::Gold6354.cha_count() as u16;
+    let mut ids: Vec<u16> = (0..cha_count).collect();
+    ids.shuffle(&mut rng);
+    let mut chosen: Vec<u16> = ids
+        .into_iter()
+        .take(CpuModel::Gold6354.llc_only_count())
+        .collect();
+    chosen.sort_unstable();
+    chosen
+}
+
+fn seeded_rng(fleet_seed: u64, model: CpuModel, pattern: u64, salt: u64) -> ChaCha8Rng {
+    let model_tag = match model {
+        CpuModel::Platinum8124M => 1u64,
+        CpuModel::Platinum8175M => 2,
+        CpuModel::Platinum8259CL => 3,
+        CpuModel::Gold6354 => 4,
+    };
+    ChaCha8Rng::seed_from_u64(
+        fleet_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(model_tag << 32)
+            .wrapping_add(pattern << 8)
+            .wrapping_add(salt),
+    )
+}
+
+/// The disabled-tile set of `(model, pattern)`: deterministic in the fleet
+/// seed, distinct across pattern indices of one model.
+///
+/// Pattern 0 of each model disables a canonical contiguous run (binning
+/// prefers a standard fuse map); higher patterns draw random sets, which
+/// yields the long tail of rare layouts the paper observed.
+pub fn disabled_set(model: CpuModel, pattern: usize, fleet_seed: u64) -> Vec<TileCoord> {
+    all_disabled_sets(model, pattern + 1, fleet_seed)
+        .pop()
+        .expect("requested pattern generated")
+}
+
+/// The first `n` distinct disabled-tile sets of a model, in pattern order.
+/// Generated from one deterministic stream with rejection of duplicates, so
+/// every pattern index names a unique layout.
+pub fn all_disabled_sets(model: CpuModel, n: usize, fleet_seed: u64) -> Vec<Vec<TileCoord>> {
+    let capable = model.template().core_capable_positions();
+    let k = model.disabled_count();
+    if k == 0 {
+        return vec![Vec::new(); n];
+    }
+    let mut sets: Vec<Vec<TileCoord>> = Vec::with_capacity(n);
+    let mut canonical = capable[capable.len() - k..].to_vec();
+    canonical.sort();
+    sets.push(canonical);
+    let mut rng = seeded_rng(fleet_seed, model, 0, 0xD1);
+    while sets.len() < n {
+        let mut positions = capable.clone();
+        positions.shuffle(&mut rng);
+        let mut set: Vec<TileCoord> = positions.into_iter().take(k).collect();
+        set.sort();
+        if !sets.contains(&set) {
+            sets.push(set);
+        }
+    }
+    sets.truncate(n);
+    sets
+}
+
+/// Expands the per-pattern counts into a per-instance pattern assignment of
+/// length `population`, shuffled deterministically (cloud allocation order
+/// does not sort chips by fuse map).
+pub fn instance_patterns(model: CpuModel, fleet_seed: u64) -> Vec<usize> {
+    let counts = pattern_counts(model);
+    let mut assignment = Vec::with_capacity(model.paper_population());
+    for (pattern, &count) in counts.iter().enumerate() {
+        assignment.extend(std::iter::repeat_n(pattern, count));
+    }
+    debug_assert_eq!(assignment.len(), model.paper_population());
+    let mut rng = seeded_rng(fleet_seed, model, 0, 0x51);
+    assignment.shuffle(&mut rng);
+    assignment
+}
+
+/// Per-instance secrets: `(ppin, slice_hash_secret, noise_seed)`.
+pub fn instance_secrets(model: CpuModel, index: usize, fleet_seed: u64) -> (u64, u64, u64) {
+    let mut rng = seeded_rng(fleet_seed, model, index as u64, 0x77);
+    (rng.gen(), rng.gen(), rng.gen())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_counts_match_paper_table2() {
+        for m in CpuModel::ALL {
+            let counts = pattern_counts(m);
+            assert_eq!(
+                counts.iter().sum::<usize>(),
+                m.paper_population(),
+                "{m} population"
+            );
+            // Sorted descending.
+            assert!(counts.windows(2).all(|w| w[0] >= w[1]), "{m} sorted");
+        }
+        assert_eq!(pattern_counts(CpuModel::Platinum8124M).len(), 14);
+        assert_eq!(pattern_counts(CpuModel::Platinum8175M).len(), 26);
+        assert_eq!(pattern_counts(CpuModel::Platinum8259CL).len(), 53);
+        assert_eq!(pattern_counts(CpuModel::Gold6354).len(), 6);
+        assert_eq!(
+            &pattern_counts(CpuModel::Platinum8259CL)[..4],
+            &[19, 5, 4, 4]
+        );
+    }
+
+    #[test]
+    fn llc_case_population_matches_table1() {
+        let counts = pattern_counts(CpuModel::Platinum8259CL);
+        let mut by_case: std::collections::HashMap<(u16, u16), usize> = Default::default();
+        for (pattern, &count) in counts.iter().enumerate() {
+            *by_case.entry(llc_case_8259cl(pattern)).or_default() += count;
+        }
+        for (case, expected) in TABLE1_8259CL_CASES {
+            assert_eq!(by_case.get(&case), Some(&expected), "case {case:?}");
+        }
+    }
+
+    #[test]
+    fn disabled_sets_are_distinct_and_right_sized() {
+        for m in [
+            CpuModel::Platinum8124M,
+            CpuModel::Platinum8175M,
+            CpuModel::Platinum8259CL,
+            CpuModel::Gold6354,
+        ] {
+            let n = pattern_counts(m).len();
+            let mut seen = std::collections::HashSet::new();
+            for p in 0..n {
+                let set = disabled_set(m, p, 42);
+                assert_eq!(set.len(), m.disabled_count(), "{m} pattern {p}");
+                let mut key = set.clone();
+                key.sort();
+                assert!(seen.insert(key), "{m} pattern {p} duplicates another");
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_sets_are_deterministic() {
+        let a = disabled_set(CpuModel::Platinum8175M, 5, 7);
+        let b = disabled_set(CpuModel::Platinum8175M, 5, 7);
+        assert_eq!(a, b);
+        let c = disabled_set(CpuModel::Platinum8175M, 5, 8);
+        // Different fleet seed gives (almost surely) different sets.
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn instance_assignment_is_a_permutation_of_counts() {
+        let assignment = instance_patterns(CpuModel::Platinum8259CL, 3);
+        assert_eq!(assignment.len(), 100);
+        let mut histogram = vec![0usize; 53];
+        for &p in &assignment {
+            histogram[p] += 1;
+        }
+        assert_eq!(histogram, pattern_counts(CpuModel::Platinum8259CL));
+        // Not sorted (shuffled).
+        assert!(assignment.windows(2).any(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn fig5_llc_chas_for_pattern0() {
+        assert_eq!(llc_chas_6354(0, 0), vec![0, 2, 4, 12, 15, 18, 21, 24]);
+        let other = llc_chas_6354(3, 0);
+        assert_eq!(other.len(), 8);
+        assert!(other.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn secrets_differ_per_instance() {
+        let a = instance_secrets(CpuModel::Platinum8124M, 0, 1);
+        let b = instance_secrets(CpuModel::Platinum8124M, 1, 1);
+        assert_ne!(a.0, b.0);
+        assert_ne!(a.1, b.1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Fleet statistics: the computations behind paper Tables I and II.
+
+use std::collections::BTreeMap;
+
+use coremap_core::CoreMap;
+
+/// Frequency table over canonical location patterns (Table II).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PatternStats {
+    counts: BTreeMap<String, usize>,
+}
+
+impl PatternStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one measured map.
+    pub fn record(&mut self, map: &CoreMap) {
+        *self.counts.entry(map.canonical_pattern()).or_default() += 1;
+    }
+
+    /// Records a pre-computed canonical pattern key.
+    pub fn record_key(&mut self, key: String) {
+        *self.counts.entry(key).or_default() += 1;
+    }
+
+    /// Total number of recorded instances.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Number of distinct patterns (Table II bottom row).
+    pub fn unique_patterns(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Instance counts of the `k` most frequent patterns, descending
+    /// (Table II top rows).
+    pub fn top_counts(&self, k: usize) -> Vec<usize> {
+        let mut counts: Vec<usize> = self.counts.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        counts.truncate(k);
+        counts
+    }
+
+    /// The `k` most frequent `(pattern key, count)` entries, descending by
+    /// count (ties broken by key for determinism).
+    pub fn top_patterns(&self, k: usize) -> Vec<(&str, usize)> {
+        let mut entries: Vec<(&str, usize)> =
+            self.counts.iter().map(|(s, &c)| (s.as_str(), c)).collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        entries.truncate(k);
+        entries
+    }
+}
+
+impl<'a> FromIterator<&'a CoreMap> for PatternStats {
+    fn from_iter<T: IntoIterator<Item = &'a CoreMap>>(iter: T) -> Self {
+        let mut stats = Self::new();
+        for m in iter {
+            stats.record(m);
+        }
+        stats
+    }
+}
+
+/// Frequency table over OS-core↔CHA ID mappings (Table I): groups
+/// instances by their measured `core -> cha` vector.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdMappingStats {
+    counts: BTreeMap<Vec<u16>, usize>,
+}
+
+impl IdMappingStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one measured map.
+    pub fn record(&mut self, map: &CoreMap) {
+        let key: Vec<u16> = map.core_to_cha().iter().map(|c| c.index() as u16).collect();
+        *self.counts.entry(key).or_default() += 1;
+    }
+
+    /// Total instances recorded.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Distinct ID mappings observed.
+    pub fn unique_mappings(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `(mapping, count)` rows, descending by count — the layout of paper
+    /// Table I.
+    pub fn rows(&self) -> Vec<(Vec<u16>, usize)> {
+        let mut rows: Vec<(Vec<u16>, usize)> =
+            self.counts.iter().map(|(k, &c)| (k.clone(), c)).collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows
+    }
+}
+
+impl<'a> FromIterator<&'a CoreMap> for IdMappingStats {
+    fn from_iter<T: IntoIterator<Item = &'a CoreMap>>(iter: T) -> Self {
+        let mut stats = Self::new();
+        for m in iter {
+            stats.record(m);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coremap_mesh::{ChaId, GridDim, TileCoord};
+
+    fn tiny_map(swap: bool) -> CoreMap {
+        let (a, b) = if swap {
+            (TileCoord::new(0, 1), TileCoord::new(0, 0))
+        } else {
+            (TileCoord::new(0, 0), TileCoord::new(0, 1))
+        };
+        CoreMap::new(
+            GridDim::new(1, 2),
+            vec![a, b],
+            vec![ChaId::new(0), ChaId::new(1)],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn pattern_stats_count_and_rank() {
+        let maps = [tiny_map(false), tiny_map(false), tiny_map(true)];
+        let stats: PatternStats = maps.iter().collect();
+        assert_eq!(stats.total(), 3);
+        assert_eq!(stats.unique_patterns(), 2);
+        assert_eq!(stats.top_counts(4), vec![2, 1]);
+    }
+
+    #[test]
+    fn id_mapping_stats_group_by_vector() {
+        let maps = [tiny_map(false), tiny_map(true)];
+        let stats: IdMappingStats = maps.iter().collect();
+        // Same core->cha vector in both (positions differ, IDs don't).
+        assert_eq!(stats.unique_mappings(), 1);
+        assert_eq!(stats.total(), 2);
+        assert_eq!(stats.rows()[0].1, 2);
+    }
+
+    #[test]
+    fn top_patterns_deterministic_ordering() {
+        let mut stats = PatternStats::new();
+        stats.record_key("b".into());
+        stats.record_key("a".into());
+        let top = stats.top_patterns(2);
+        assert_eq!(top, vec![("a", 1), ("b", 1)]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Solver errors.
+
+use std::fmt;
+
+/// Error returned by [`Model::solve`](crate::Model::solve).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// No assignment satisfies the constraints.
+    Infeasible,
+    /// The objective can decrease without bound (only possible for malformed
+    /// models, since all variables carry finite bounds).
+    Unbounded,
+    /// The simplex exceeded its iteration safety limit.
+    IterationLimit,
+    /// Branch & bound exceeded its node limit before proving optimality.
+    NodeLimit,
+    /// The final incumbent failed the independent exact feasibility check —
+    /// indicates numerical breakdown inside the LP solver.
+    VerificationFailed {
+        /// Index of the violated constraint.
+        constraint: usize,
+        /// Magnitude of the violation.
+        violation: f64,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => f.write_str("model is infeasible"),
+            SolveError::Unbounded => f.write_str("model is unbounded"),
+            SolveError::IterationLimit => f.write_str("simplex iteration limit exceeded"),
+            SolveError::NodeLimit => f.write_str("branch-and-bound node limit exceeded"),
+            SolveError::VerificationFailed {
+                constraint,
+                violation,
+            } => write!(
+                f,
+                "incumbent violates constraint {constraint} by {violation:.3e}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}

@@ -1,0 +1,489 @@
+//! Model presolve: equality merging, constraint deduplication.
+//!
+//! The core-map reconstruction ILP (paper Sec. II-C) contains a large number
+//! of *alignment* equalities — every tile observing a vertical ingress on a
+//! path shares the source's column variable, every horizontal observer
+//! shares the sink's row variable (`C_i = C_s`, `R_j = R_e`). With all-pairs
+//! traffic observations these collapse most position variables into a few
+//! equivalence classes. [`merge_equalities`] performs that collapse
+//! generically: it unions variables linked by two-term equality constraints,
+//! intersects their domains, rewrites all other constraints over class
+//! representatives and deduplicates the results.
+
+#![allow(clippy::needless_range_loop)] // parallel-array index loops
+
+use std::collections::HashMap;
+
+use crate::model::{Cmp, Model, VarKind};
+use crate::{Solution, SolveError, Var};
+
+/// Result of presolving: a reduced model plus the variable mapping back to
+/// the original model.
+#[derive(Debug, Clone)]
+pub struct Presolved {
+    /// The reduced model. It may be extended further (e.g. with indicator
+    /// variables) before solving.
+    pub model: Model,
+    map: Vec<Var>,
+    orig_vars: usize,
+}
+
+impl Presolved {
+    /// The reduced-model variable standing in for original variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the original model.
+    pub fn mapped(&self, v: Var) -> Var {
+        self.map[v.index()]
+    }
+
+    /// Lifts a solution of the reduced model back to original-model variable
+    /// values (indexed by original [`Var::index`]).
+    pub fn lift(&self, sol: &Solution) -> Vec<f64> {
+        (0..self.orig_vars)
+            .map(|j| sol.value(self.map[j]))
+            .collect()
+    }
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Keep the smaller index as representative for determinism.
+            let (keep, drop) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[drop] = keep;
+        }
+    }
+}
+
+fn stronger(a: VarKind, b: VarKind) -> VarKind {
+    use VarKind::*;
+    match (a, b) {
+        (Binary, _) | (_, Binary) => Binary,
+        (Integer, _) | (_, Integer) => Integer,
+        _ => Continuous,
+    }
+}
+
+/// Merges variables linked by `a*x - a*y == 0` equality constraints and
+/// deduplicates the remaining constraints.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Infeasible`] if merging proves the model infeasible
+/// (a merged class has an empty domain, or a constraint reduces to a false
+/// constant relation).
+pub fn merge_equalities(model: &Model) -> Result<Presolved, SolveError> {
+    let n = model.var_count();
+    let mut uf = UnionFind::new(n);
+
+    let mut is_merge = vec![false; model.constraints.len()];
+    for (ci, c) in model.constraints.iter().enumerate() {
+        if c.cmp == Cmp::Eq && c.rhs == 0.0 && c.terms.len() == 2 {
+            let (v1, a1) = c.terms[0];
+            let (v2, a2) = c.terms[1];
+            if (a1 + a2).abs() <= f64::EPSILON * (a1.abs() + a2.abs()) && a1 != 0.0 {
+                uf.union(v1.index(), v2.index());
+                is_merge[ci] = true;
+            }
+        }
+    }
+
+    // Gather classes and merged domains.
+    let mut class_of = vec![usize::MAX; n];
+    let mut reduced = Model::new();
+    let mut rep_var: HashMap<usize, Var> = HashMap::new();
+    // First compute merged bounds/kinds per root.
+    let mut merged: HashMap<usize, (f64, f64, VarKind, String)> = HashMap::new();
+    for j in 0..n {
+        let root = uf.find(j);
+        let d = &model.vars[j];
+        let e = merged
+            .entry(root)
+            .or_insert((d.lb, d.ub, d.kind, d.name.clone()));
+        e.0 = e.0.max(d.lb);
+        e.1 = e.1.min(d.ub);
+        e.2 = stronger(e.2, d.kind);
+    }
+    // Deterministic order: by root index.
+    let mut roots: Vec<usize> = merged.keys().copied().collect();
+    roots.sort_unstable();
+    for root in roots {
+        let (lb, ub, kind, name) = merged.remove(&root).expect("root present");
+        if lb > ub + 1e-9 {
+            return Err(SolveError::Infeasible);
+        }
+        let ub = ub.max(lb);
+        let v = match kind {
+            VarKind::Continuous => reduced.num_var(&name, lb, ub),
+            VarKind::Integer => reduced.int_var(&name, lb.ceil() as i64, ub.floor() as i64),
+            VarKind::Binary => {
+                let v = reduced.bin_var(&name);
+                if lb > 0.5 {
+                    reduced.constraint(crate::LinExpr::from(v), Cmp::Ge, 1.0);
+                }
+                if ub < 0.5 {
+                    reduced.constraint(crate::LinExpr::from(v), Cmp::Le, 0.0);
+                }
+                v
+            }
+        };
+        rep_var.insert(root, v);
+    }
+    for j in 0..n {
+        class_of[j] = uf.find(j);
+    }
+
+    // Rewrite constraints.
+    type ConstraintKey = (Vec<(usize, u64)>, u8, u64);
+    let mut seen: HashMap<ConstraintKey, ()> = HashMap::new();
+    for (ci, c) in model.constraints.iter().enumerate() {
+        if is_merge[ci] {
+            continue;
+        }
+        let mut acc: HashMap<usize, f64> = HashMap::new();
+        for &(v, a) in &c.terms {
+            *acc.entry(rep_var[&class_of[v.index()]].index())
+                .or_insert(0.0) += a;
+        }
+        let mut terms: Vec<(usize, f64)> = acc.into_iter().filter(|&(_, a)| a != 0.0).collect();
+        terms.sort_by_key(|&(j, _)| j);
+        if terms.is_empty() {
+            let ok = match c.cmp {
+                Cmp::Le => 0.0 <= c.rhs + 1e-9,
+                Cmp::Ge => 0.0 >= c.rhs - 1e-9,
+                Cmp::Eq => c.rhs.abs() <= 1e-9,
+            };
+            if !ok {
+                return Err(SolveError::Infeasible);
+            }
+            continue;
+        }
+        let key = (
+            terms
+                .iter()
+                .map(|&(j, a)| (j, a.to_bits()))
+                .collect::<Vec<_>>(),
+            match c.cmp {
+                Cmp::Le => 0u8,
+                Cmp::Ge => 1,
+                Cmp::Eq => 2,
+            },
+            c.rhs.to_bits(),
+        );
+        if seen.insert(key, ()).is_some() {
+            continue;
+        }
+        let mut expr = crate::LinExpr::new();
+        for (j, a) in terms {
+            expr.add_term(a, Var(j));
+        }
+        reduced.constraint(expr, c.cmp, c.rhs);
+    }
+
+    // Rewrite the objective.
+    let mut obj_acc: HashMap<usize, f64> = HashMap::new();
+    for &(v, a) in &model.objective {
+        *obj_acc
+            .entry(rep_var[&class_of[v.index()]].index())
+            .or_insert(0.0) += a;
+    }
+    let mut obj = crate::LinExpr::new();
+    let mut obj_terms: Vec<_> = obj_acc.into_iter().collect();
+    obj_terms.sort_by_key(|&(j, _)| j);
+    for (j, a) in obj_terms {
+        if a != 0.0 {
+            obj.add_term(a, Var(j));
+        }
+    }
+    reduced.minimize(obj);
+
+    let map = (0..n).map(|j| rep_var[&class_of[j]]).collect();
+    Ok(Presolved {
+        model: reduced,
+        map,
+        orig_vars: n,
+    })
+}
+
+/// A sparse constraint row: `(terms, comparison, rhs)`.
+pub type SparseRow = (Vec<(usize, f64)>, Cmp, f64);
+
+/// One round of interval-arithmetic bound propagation over `constraints`,
+/// tightening `bounds` in place. Returns whether anything changed.
+///
+/// For every constraint `sum a_i x_i (cmp) rhs` and every variable `j`, the
+/// activity range of the remaining terms implies a bound on `x_j`; integer
+/// variables round inward. Used by the solver as root preprocessing and
+/// exposed for model debugging.
+///
+/// # Errors
+///
+/// [`SolveError::Infeasible`] when a domain empties.
+pub fn propagate_bounds_once(
+    constraints: &[SparseRow],
+    kinds: &[VarKind],
+    bounds: &mut [(f64, f64)],
+) -> Result<bool, SolveError> {
+    const TOL: f64 = 1e-9;
+    let mut changed = false;
+    for (terms, cmp, rhs) in constraints {
+        // Pre-compute each term's activity range.
+        let ranges: Vec<(f64, f64)> = terms
+            .iter()
+            .map(|&(j, a)| {
+                let (l, u) = bounds[j];
+                let (x, y) = (a * l, a * u);
+                (x.min(y), x.max(y))
+            })
+            .collect();
+        let total_min: f64 = ranges.iter().map(|r| r.0).sum();
+        let total_max: f64 = ranges.iter().map(|r| r.1).sum();
+        for (t_idx, &(j, a)) in terms.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let rest_min = total_min - ranges[t_idx].0;
+            let rest_max = total_max - ranges[t_idx].1;
+            // a * x_j <= rhs - rest_min   (for Le / Eq)
+            // a * x_j >= rhs - rest_max   (for Ge / Eq)
+            let mut apply = |upper_on_ax: Option<f64>, lower_on_ax: Option<f64>| {
+                let (mut l, mut u) = bounds[j];
+                if let Some(ub) = upper_on_ax {
+                    if a > 0.0 {
+                        u = u.min(ub / a);
+                    } else {
+                        l = l.max(ub / a);
+                    }
+                }
+                if let Some(lb) = lower_on_ax {
+                    if a > 0.0 {
+                        l = l.max(lb / a);
+                    } else {
+                        u = u.min(lb / a);
+                    }
+                }
+                if matches!(kinds[j], VarKind::Integer | VarKind::Binary) {
+                    l = (l - TOL).ceil();
+                    u = (u + TOL).floor();
+                }
+                if l > bounds[j].0 + TOL || u < bounds[j].1 - TOL {
+                    changed = true;
+                }
+                bounds[j] = (l.max(bounds[j].0), u.min(bounds[j].1));
+            };
+            match cmp {
+                Cmp::Le => apply(Some(rhs - rest_min), None),
+                Cmp::Ge => apply(None, Some(rhs - rest_max)),
+                Cmp::Eq => apply(Some(rhs - rest_min), Some(rhs - rest_max)),
+            }
+            if bounds[j].0 > bounds[j].1 + TOL {
+                return Err(SolveError::Infeasible);
+            }
+        }
+    }
+    Ok(changed)
+}
+
+/// Runs bound propagation to a fixpoint (bounded number of passes) over a
+/// [`Model`], returning the tightened per-variable bounds.
+///
+/// # Errors
+///
+/// [`SolveError::Infeasible`] when propagation proves the model infeasible.
+pub fn tightened_bounds(model: &Model) -> Result<Vec<(f64, f64)>, SolveError> {
+    let mut bounds: Vec<(f64, f64)> = model.vars.iter().map(|v| (v.lb, v.ub)).collect();
+    let kinds: Vec<VarKind> = model.vars.iter().map(|v| v.kind).collect();
+    let constraints: Vec<SparseRow> = model
+        .constraints
+        .iter()
+        .map(|c| {
+            (
+                c.terms.iter().map(|&(v, a)| (v.index(), a)).collect(),
+                c.cmp,
+                c.rhs,
+            )
+        })
+        .collect();
+    for _ in 0..16 {
+        if !propagate_bounds_once(&constraints, &kinds, &mut bounds)? {
+            break;
+        }
+    }
+    Ok(bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cmp, Model};
+
+    #[test]
+    fn merges_chained_equalities() {
+        let mut m = Model::new();
+        let a = m.int_var("a", 0, 10);
+        let b = m.int_var("b", 0, 10);
+        let c = m.int_var("c", 2, 8);
+        m.constraint(m.expr().term(1.0, a).term(-1.0, b), Cmp::Eq, 0.0);
+        m.constraint(m.expr().term(1.0, b).term(-1.0, c), Cmp::Eq, 0.0);
+        m.constraint(m.expr().term(1.0, a), Cmp::Ge, 5.0);
+        m.minimize(m.expr().term(1.0, c));
+        let p = merge_equalities(&m).unwrap();
+        assert_eq!(p.model.var_count(), 1);
+        assert_eq!(p.mapped(a), p.mapped(b));
+        assert_eq!(p.mapped(b), p.mapped(c));
+        // Bounds intersect to [2, 8].
+        assert_eq!(p.model.var_bounds(p.mapped(a)), (2.0, 8.0));
+        let sol = p.model.solve().unwrap();
+        let lifted = p.lift(&sol);
+        assert_eq!(lifted, vec![5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn scaled_equalities_also_merge() {
+        let mut m = Model::new();
+        let a = m.int_var("a", 0, 10);
+        let b = m.int_var("b", 0, 10);
+        m.constraint(m.expr().term(3.0, a).term(-3.0, b), Cmp::Eq, 0.0);
+        let p = merge_equalities(&m).unwrap();
+        assert_eq!(p.model.var_count(), 1);
+    }
+
+    #[test]
+    fn unequal_coefficients_do_not_merge() {
+        let mut m = Model::new();
+        let a = m.int_var("a", 0, 10);
+        let b = m.int_var("b", 0, 10);
+        m.constraint(m.expr().term(2.0, a).term(-1.0, b), Cmp::Eq, 0.0);
+        let p = merge_equalities(&m).unwrap();
+        assert_eq!(p.model.var_count(), 2);
+        assert_eq!(p.model.constraint_count(), 1);
+    }
+
+    #[test]
+    fn detects_empty_merged_domain() {
+        let mut m = Model::new();
+        let a = m.int_var("a", 0, 2);
+        let b = m.int_var("b", 5, 9);
+        m.constraint(m.expr().term(1.0, a).term(-1.0, b), Cmp::Eq, 0.0);
+        assert_eq!(merge_equalities(&m).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn deduplicates_identical_constraints() {
+        let mut m = Model::new();
+        let a = m.int_var("a", 0, 10);
+        let b = m.int_var("b", 0, 10);
+        for _ in 0..5 {
+            m.constraint(m.expr().term(1.0, a).term(1.0, b), Cmp::Le, 7.0);
+        }
+        let p = merge_equalities(&m).unwrap();
+        assert_eq!(p.model.constraint_count(), 1);
+    }
+
+    #[test]
+    fn merged_self_cancelling_constraint_drops() {
+        // After merging a == b, constraint a - b <= 0 becomes vacuous.
+        let mut m = Model::new();
+        let a = m.int_var("a", 0, 10);
+        let b = m.int_var("b", 0, 10);
+        m.constraint(m.expr().term(1.0, a).term(-1.0, b), Cmp::Eq, 0.0);
+        m.constraint(m.expr().term(1.0, a).term(-1.0, b), Cmp::Le, 0.0);
+        let p = merge_equalities(&m).unwrap();
+        assert_eq!(p.model.constraint_count(), 0);
+    }
+
+    #[test]
+    fn merged_false_constant_is_infeasible() {
+        // a == b merged, then a - b >= 1 is impossible.
+        let mut m = Model::new();
+        let a = m.int_var("a", 0, 10);
+        let b = m.int_var("b", 0, 10);
+        m.constraint(m.expr().term(1.0, a).term(-1.0, b), Cmp::Eq, 0.0);
+        m.constraint(m.expr().term(1.0, a).term(-1.0, b), Cmp::Ge, 1.0);
+        assert_eq!(merge_equalities(&m).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn objective_is_rewritten() {
+        let mut m = Model::new();
+        let a = m.int_var("a", 1, 10);
+        let b = m.int_var("b", 0, 10);
+        m.constraint(m.expr().term(1.0, a).term(-1.0, b), Cmp::Eq, 0.0);
+        m.minimize(m.expr().term(2.0, a).term(3.0, b));
+        let p = merge_equalities(&m).unwrap();
+        let sol = p.model.solve().unwrap();
+        // min 5 * merged with merged >= 1 => objective 5.
+        assert!((sol.objective() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bound_propagation_tightens_chains() {
+        // x <= 4, y >= x + 2, z == y + 1 with wide declared domains.
+        let mut m = Model::new();
+        let x = m.int_var("x", 0, 100);
+        let y = m.int_var("y", 0, 100);
+        let z = m.int_var("z", 0, 100);
+        m.constraint(m.expr().term(1.0, x), Cmp::Le, 4.0);
+        m.constraint(m.expr().term(1.0, y).term(-1.0, x), Cmp::Ge, 2.0);
+        m.constraint(m.expr().term(1.0, z).term(-1.0, y), Cmp::Eq, 1.0);
+        let b = tightened_bounds(&m).unwrap();
+        assert_eq!(b[x.index()], (0.0, 4.0));
+        assert_eq!(b[y.index()].0, 2.0);
+        // z = y + 1 and y <= 100 keeps z's upper at 100; its lower tightens.
+        assert_eq!(b[z.index()].0, 3.0);
+    }
+
+    #[test]
+    fn bound_propagation_detects_infeasibility() {
+        let mut m = Model::new();
+        let x = m.int_var("x", 0, 3);
+        m.constraint(m.expr().term(1.0, x), Cmp::Ge, 7.0);
+        assert_eq!(tightened_bounds(&m).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn bound_propagation_rounds_integer_bounds_inward() {
+        let mut m = Model::new();
+        let x = m.int_var("x", 0, 9);
+        // 2x <= 7 -> x <= 3 for integers.
+        m.constraint(m.expr().term(2.0, x), Cmp::Le, 7.0);
+        let b = tightened_bounds(&m).unwrap();
+        assert_eq!(b[x.index()], (0.0, 3.0));
+    }
+
+    #[test]
+    fn solve_equivalence_with_and_without_presolve() {
+        let mut m = Model::new();
+        let a = m.int_var("a", 0, 6);
+        let b = m.int_var("b", 0, 6);
+        let c = m.int_var("c", 0, 6);
+        m.constraint(m.expr().term(1.0, a).term(-1.0, b), Cmp::Eq, 0.0);
+        m.constraint(m.expr().term(1.0, b).term(2.0, c), Cmp::Ge, 7.0);
+        m.minimize(m.expr().term(1.0, a).term(1.0, c));
+        let direct = m.solve().unwrap();
+        let p = merge_equalities(&m).unwrap();
+        let reduced = p.model.solve().unwrap();
+        assert!((direct.objective() - reduced.objective()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,155 @@
+//! Solve results.
+
+use crate::model::{Cmp, Model, VarKind};
+use crate::Var;
+
+/// Termination status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// A provably optimal integer-feasible solution was found.
+    Optimal,
+    /// A feasible solution was found but optimality was not proven (node
+    /// limit reached with an incumbent).
+    Feasible,
+}
+
+/// Search statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// Total simplex pivots across all LP relaxations.
+    pub lp_iterations: usize,
+}
+
+/// An integer-feasible solution to a [`Model`].
+#[derive(Debug, Clone)]
+pub struct Solution {
+    pub(crate) values: Vec<f64>,
+    pub(crate) objective: f64,
+    pub(crate) status: Status,
+    pub(crate) stats: SolveStats,
+}
+
+impl Solution {
+    /// Value of `var` in the solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to the solved model.
+    pub fn value(&self, var: Var) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Value of `var` rounded to the nearest integer — use for integer and
+    /// binary variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to the solved model.
+    pub fn int_value(&self, var: Var) -> i64 {
+        self.values[var.index()].round() as i64
+    }
+
+    /// Objective value.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Termination status.
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// Search statistics.
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// All variable values, indexed by [`Var::index`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Independently re-checks this solution against `model`: integrality of
+    /// integer variables, variable bounds, and every constraint within
+    /// `tol`. Returns the index of the first violated constraint, if any.
+    ///
+    /// This is the safety net guarding against floating-point drift inside
+    /// the simplex; [`Model::solve`] runs it automatically on the incumbent.
+    pub fn verify(&self, model: &Model, tol: f64) -> Option<usize> {
+        for (j, vd) in model.vars.iter().enumerate() {
+            let v = self.values[j];
+            if v < vd.lb - tol || v > vd.ub + tol {
+                return Some(usize::MAX - j);
+            }
+            if matches!(vd.kind, VarKind::Integer | VarKind::Binary) && (v - v.round()).abs() > tol
+            {
+                return Some(usize::MAX - j);
+            }
+        }
+        for (i, c) in model.constraints.iter().enumerate() {
+            let lhs: f64 = c
+                .terms
+                .iter()
+                .map(|&(v, coeff)| coeff * self.values[v.index()])
+                .sum();
+            let ok = match c.cmp {
+                Cmp::Le => lhs <= c.rhs + tol,
+                Cmp::Ge => lhs >= c.rhs - tol,
+                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cmp;
+
+    #[test]
+    fn verify_accepts_feasible_point() {
+        let mut m = Model::new();
+        let x = m.int_var("x", 0, 5);
+        m.constraint(m.expr().term(1.0, x), Cmp::Le, 3.0);
+        let sol = Solution {
+            values: vec![2.0],
+            objective: 0.0,
+            status: Status::Optimal,
+            stats: SolveStats::default(),
+        };
+        assert_eq!(sol.verify(&m, 1e-6), None);
+    }
+
+    #[test]
+    fn verify_rejects_constraint_violation() {
+        let mut m = Model::new();
+        let x = m.int_var("x", 0, 5);
+        m.constraint(m.expr().term(1.0, x), Cmp::Le, 3.0);
+        let sol = Solution {
+            values: vec![4.0],
+            objective: 0.0,
+            status: Status::Optimal,
+            stats: SolveStats::default(),
+        };
+        assert_eq!(sol.verify(&m, 1e-6), Some(0));
+    }
+
+    #[test]
+    fn verify_rejects_fractional_integer() {
+        let mut m = Model::new();
+        let _x = m.int_var("x", 0, 5);
+        let sol = Solution {
+            values: vec![1.5],
+            objective: 0.0,
+            status: Status::Optimal,
+            stats: SolveStats::default(),
+        };
+        assert!(sol.verify(&m, 1e-6).is_some());
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests: branch & bound agrees with brute-force enumeration on
+//! random small MILPs.
+
+use coremap_ilp::{Cmp, Model, SolveError};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomMilp {
+    n_vars: usize,
+    /// Per-constraint: coefficients, cmp selector, rhs.
+    constraints: Vec<(Vec<i8>, u8, i8)>,
+    objective: Vec<i8>,
+}
+
+fn milp_strategy() -> impl Strategy<Value = RandomMilp> {
+    (2usize..=5).prop_flat_map(|n_vars| {
+        let constraint = (prop::collection::vec(-4i8..=4, n_vars), 0u8..3, -6i8..=10);
+        (
+            prop::collection::vec(constraint, 1..=4),
+            prop::collection::vec(-5i8..=5, n_vars),
+        )
+            .prop_map(move |(constraints, objective)| RandomMilp {
+                n_vars,
+                constraints,
+                objective,
+            })
+    })
+}
+
+fn brute_force(m: &RandomMilp) -> Option<i64> {
+    let mut best: Option<i64> = None;
+    for mask in 0u32..(1 << m.n_vars) {
+        let assign: Vec<i64> = (0..m.n_vars).map(|j| ((mask >> j) & 1) as i64).collect();
+        let feasible = m.constraints.iter().all(|(coeffs, cmp, rhs)| {
+            let lhs: i64 = coeffs
+                .iter()
+                .zip(&assign)
+                .map(|(&c, &x)| c as i64 * x)
+                .sum();
+            match cmp % 3 {
+                0 => lhs <= *rhs as i64,
+                1 => lhs >= *rhs as i64,
+                _ => lhs == *rhs as i64,
+            }
+        });
+        if feasible {
+            let obj: i64 = m
+                .objective
+                .iter()
+                .zip(&assign)
+                .map(|(&c, &x)| c as i64 * x)
+                .sum();
+            best = Some(best.map_or(obj, |b: i64| b.min(obj)));
+        }
+    }
+    best
+}
+
+fn solve_with_ilp(m: &RandomMilp) -> Result<i64, SolveError> {
+    let mut model = Model::new();
+    let vars: Vec<_> = (0..m.n_vars)
+        .map(|j| model.bin_var(&format!("b{j}")))
+        .collect();
+    for (coeffs, cmp, rhs) in &m.constraints {
+        let mut e = model.expr();
+        for (j, &c) in coeffs.iter().enumerate() {
+            e = e.term(c as f64, vars[j]);
+        }
+        let cmp = match cmp % 3 {
+            0 => Cmp::Le,
+            1 => Cmp::Ge,
+            _ => Cmp::Eq,
+        };
+        model.constraint(e, cmp, *rhs as f64);
+    }
+    let mut obj = model.expr();
+    for (j, &c) in m.objective.iter().enumerate() {
+        obj = obj.term(c as f64, vars[j]);
+    }
+    model.minimize(obj);
+    model.solve().map(|s| s.objective().round() as i64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bb_matches_brute_force(m in milp_strategy()) {
+        let expect = brute_force(&m);
+        let got = solve_with_ilp(&m);
+        match (expect, got) {
+            (Some(e), Ok(g)) => prop_assert_eq!(e, g, "objective mismatch"),
+            (None, Err(SolveError::Infeasible)) => {}
+            (e, g) => prop_assert!(false, "expected {:?}, got {:?}", e, g),
+        }
+    }
+
+    #[test]
+    fn bb_matches_brute_force_after_presolve(m in milp_strategy()) {
+        let expect = brute_force(&m);
+        // Round-trip through presolve to check the reductions are sound.
+        let mut model = Model::new();
+        let vars: Vec<_> = (0..m.n_vars)
+            .map(|j| model.bin_var(&format!("b{j}")))
+            .collect();
+        for (coeffs, cmp, rhs) in &m.constraints {
+            let mut e = model.expr();
+            for (j, &c) in coeffs.iter().enumerate() {
+                e = e.term(c as f64, vars[j]);
+            }
+            let cmp = match cmp % 3 {
+                0 => Cmp::Le,
+                1 => Cmp::Ge,
+                _ => Cmp::Eq,
+            };
+            model.constraint(e, cmp, *rhs as f64);
+        }
+        let mut obj = model.expr();
+        for (j, &c) in m.objective.iter().enumerate() {
+            obj = obj.term(c as f64, vars[j]);
+        }
+        model.minimize(obj);
+
+        let got = coremap_ilp::presolve::merge_equalities(&model)
+            .and_then(|p| p.model.solve().map(|s| s.objective().round() as i64));
+        match (expect, got) {
+            (Some(e), Ok(g)) => prop_assert_eq!(e, g, "objective mismatch"),
+            (None, Err(SolveError::Infeasible)) => {}
+            (e, g) => prop_assert!(false, "expected {:?}, got {:?}", e, g),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Error types for floorplan construction.
+
+use std::fmt;
+
+use crate::TileCoord;
+
+/// Error building a [`Floorplan`](crate::Floorplan).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FloorplanError {
+    /// A position passed to the builder is outside the die grid.
+    OutOfGrid {
+        /// The offending coordinate.
+        coord: TileCoord,
+    },
+    /// A position passed to the builder does not hold a core-capable tile
+    /// (it is an IMC or system tile on the die template).
+    NotCoreCapable {
+        /// The offending coordinate.
+        coord: TileCoord,
+    },
+    /// The same position was both disabled and marked LLC-only.
+    ConflictingAssignment {
+        /// The offending coordinate.
+        coord: TileCoord,
+    },
+    /// The requested configuration leaves no enabled cores.
+    NoCores,
+}
+
+impl fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloorplanError::OutOfGrid { coord } => {
+                write!(f, "tile position {coord} is outside the die grid")
+            }
+            FloorplanError::NotCoreCapable { coord } => {
+                write!(f, "tile position {coord} is not core-capable on this die")
+            }
+            FloorplanError::ConflictingAssignment { coord } => {
+                write!(f, "tile position {coord} is both disabled and LLC-only")
+            }
+            FloorplanError::NoCores => f.write_str("floorplan would have no enabled cores"),
+        }
+    }
+}
+
+impl std::error::Error for FloorplanError {}

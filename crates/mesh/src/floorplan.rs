@@ -1,0 +1,603 @@
+//! Die templates and concrete floorplans.
+//!
+//! A [`DieTemplate`] fixes the grid dimensions and the positions of the
+//! non-core tiles (IMC, system agents). A [`Floorplan`] then assigns each
+//! core-capable position one of three states — full core tile, LLC-only
+//! tile, or fully disabled tile — and derives the two hidden ID spaces the
+//! paper's methodology recovers:
+//!
+//! * **CHA IDs** are assigned over tiles with an active CHA in the die's
+//!   numbering order (column-major on Skylake/Cascade Lake, row-major on Ice
+//!   Lake; paper Sec. III-B observes the column-major rule and that Ice Lake
+//!   "is clearly different").
+//! * **OS core IDs** are assigned over tiles with an enabled core following
+//!   the per-generation enumeration rule reproduced from paper Table I:
+//!   Skylake/Cascade Lake enumerate CHA IDs by residue class modulo 4 in the
+//!   order `0, 2, 1, 3` (the "grouped with strides of 4" structure), Ice
+//!   Lake enumerates them in plain ascending order.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ChaId, FloorplanError, GridDim, OsCoreId, Tile, TileCoord, TileKind};
+
+/// Physical die template: grid size plus fixed non-core tile positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DieTemplate {
+    /// Skylake / Cascade Lake server XCC die: 5x6 tile grid, 28 core-capable
+    /// tiles, IMC tiles at (1,0) and (1,5) (paper Fig. 1, [Tam et al.,
+    /// ISSCC'18]).
+    SkylakeXcc,
+    /// Ice Lake server die modelled as a 6x8 grid (the paper reports an
+    /// "8x6 tile grid" for the Xeon 6354, Fig. 5): 40 core-capable tiles,
+    /// four IMC tiles on the left/right edges and four corner system tiles.
+    IceLakeXcc,
+}
+
+impl DieTemplate {
+    /// Grid dimensions of the die.
+    pub fn dim(self) -> GridDim {
+        match self {
+            DieTemplate::SkylakeXcc => GridDim::new(5, 6),
+            DieTemplate::IceLakeXcc => GridDim::new(6, 8),
+        }
+    }
+
+    /// Positions of the integrated memory controller tiles.
+    pub fn imc_positions(self) -> Vec<TileCoord> {
+        match self {
+            DieTemplate::SkylakeXcc => vec![TileCoord::new(1, 0), TileCoord::new(1, 5)],
+            DieTemplate::IceLakeXcc => vec![
+                TileCoord::new(2, 0),
+                TileCoord::new(2, 7),
+                TileCoord::new(4, 0),
+                TileCoord::new(4, 7),
+            ],
+        }
+    }
+
+    /// Positions of non-core system tiles (UPI/PCIe agents).
+    pub fn system_positions(self) -> Vec<TileCoord> {
+        match self {
+            DieTemplate::SkylakeXcc => Vec::new(),
+            DieTemplate::IceLakeXcc => vec![
+                TileCoord::new(0, 0),
+                TileCoord::new(0, 7),
+                TileCoord::new(5, 0),
+                TileCoord::new(5, 7),
+            ],
+        }
+    }
+
+    /// CHA numbering order over enabled tiles for this generation.
+    pub fn cha_numbering(self) -> ChaNumbering {
+        match self {
+            DieTemplate::SkylakeXcc => ChaNumbering::ColumnMajor,
+            DieTemplate::IceLakeXcc => ChaNumbering::RowMajor,
+        }
+    }
+
+    /// OS-core enumeration rule for this generation (paper Table I / Fig. 5).
+    pub fn core_numbering(self) -> CoreNumbering {
+        match self {
+            DieTemplate::SkylakeXcc => CoreNumbering::Stride4Class,
+            DieTemplate::IceLakeXcc => CoreNumbering::Ascending,
+        }
+    }
+
+    /// Coordinates of all core-capable positions, in the die's CHA numbering
+    /// order.
+    pub fn core_capable_positions(self) -> Vec<TileCoord> {
+        let dim = self.dim();
+        let imc = self.imc_positions();
+        let sys = self.system_positions();
+        let is_capable = |c: &TileCoord| !imc.contains(c) && !sys.contains(c);
+        match self.cha_numbering() {
+            ChaNumbering::ColumnMajor => dim.iter_column_major().filter(is_capable).collect(),
+            ChaNumbering::RowMajor => dim.iter_row_major().filter(is_capable).collect(),
+        }
+    }
+
+    /// Number of core-capable tiles on the die (28 for Skylake XCC, 40 for
+    /// Ice Lake).
+    pub fn core_capable_count(self) -> usize {
+        self.core_capable_positions().len()
+    }
+}
+
+/// Order in which enabled CHAs are numbered over the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChaNumbering {
+    /// Columns left to right, rows top to bottom (Skylake/Cascade Lake).
+    ColumnMajor,
+    /// Rows top to bottom, columns left to right (Ice Lake).
+    RowMajor,
+}
+
+/// Rule mapping enabled-core CHA IDs to OS core IDs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreNumbering {
+    /// OS cores enumerate core-bearing CHA IDs grouped by `cha % 4` in class
+    /// order `0, 2, 1, 3`, ascending within each class — the structure of
+    /// paper Table I for the 8124M/8175M/8259CL parts.
+    Stride4Class,
+    /// OS cores enumerate core-bearing CHA IDs in ascending order (the Ice
+    /// Lake pattern visible in paper Fig. 5).
+    Ascending,
+}
+
+impl CoreNumbering {
+    /// Orders the given core-bearing CHA IDs in OS enumeration order; OS core
+    /// `k` is the `k`-th element of the result.
+    pub fn enumerate(self, mut core_chas: Vec<ChaId>) -> Vec<ChaId> {
+        match self {
+            CoreNumbering::Ascending => core_chas.sort(),
+            CoreNumbering::Stride4Class => {
+                const CLASS_ORDER: [usize; 4] = [0, 2, 1, 3];
+                core_chas.sort_by_key(|cha| {
+                    let class = cha.index() % 4;
+                    let rank = CLASS_ORDER
+                        .iter()
+                        .position(|&c| c == class)
+                        .expect("class in 0..4");
+                    (rank, cha.index())
+                });
+            }
+        }
+        core_chas
+    }
+}
+
+/// Builder for a [`Floorplan`].
+///
+/// ```
+/// use coremap_mesh::{DieTemplate, FloorplanBuilder, TileCoord};
+///
+/// # fn main() -> Result<(), coremap_mesh::FloorplanError> {
+/// let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+///     .disable(TileCoord::new(0, 2))
+///     .disable(TileCoord::new(3, 4))
+///     .llc_only(TileCoord::new(4, 1))
+///     .build()?;
+/// assert_eq!(plan.cha_count(), 26); // 28 capable - 2 disabled
+/// assert_eq!(plan.core_count(), 25); // minus the LLC-only tile
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FloorplanBuilder {
+    template: DieTemplate,
+    disabled: Vec<TileCoord>,
+    llc_only: Vec<TileCoord>,
+}
+
+impl FloorplanBuilder {
+    /// Starts a floorplan on the given die template with every core-capable
+    /// tile enabled.
+    pub fn new(template: DieTemplate) -> Self {
+        Self {
+            template,
+            disabled: Vec::new(),
+            llc_only: Vec::new(),
+        }
+    }
+
+    /// Fully disables the tile at `coord` (defective core and slice: the
+    /// tile still routes traffic but is invisible to the PMON).
+    pub fn disable(mut self, coord: TileCoord) -> Self {
+        if !self.disabled.contains(&coord) {
+            self.disabled.push(coord);
+        }
+        self
+    }
+
+    /// Disables every tile in `coords`.
+    pub fn disable_all<I: IntoIterator<Item = TileCoord>>(mut self, coords: I) -> Self {
+        for c in coords {
+            self = self.disable(c);
+        }
+        self
+    }
+
+    /// Marks the tile at `coord` LLC-only: core fused off, CHA/LLC active.
+    pub fn llc_only(mut self, coord: TileCoord) -> Self {
+        if !self.llc_only.contains(&coord) {
+            self.llc_only.push(coord);
+        }
+        self
+    }
+
+    /// Marks every tile in `coords` LLC-only.
+    pub fn llc_only_all<I: IntoIterator<Item = TileCoord>>(mut self, coords: I) -> Self {
+        for c in coords {
+            self = self.llc_only(c);
+        }
+        self
+    }
+
+    /// Builds the floorplan, assigning CHA and OS core IDs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError`] if a position is outside the grid, not
+    /// core-capable, assigned conflicting states, or if no core remains
+    /// enabled.
+    pub fn build(self) -> Result<Floorplan, FloorplanError> {
+        let template = self.template;
+        let dim = template.dim();
+        let capable = template.core_capable_positions();
+
+        for &coord in self.disabled.iter().chain(self.llc_only.iter()) {
+            if !dim.contains(coord) {
+                return Err(FloorplanError::OutOfGrid { coord });
+            }
+            if !capable.contains(&coord) {
+                return Err(FloorplanError::NotCoreCapable { coord });
+            }
+        }
+        if let Some(&coord) = self.disabled.iter().find(|c| self.llc_only.contains(c)) {
+            return Err(FloorplanError::ConflictingAssignment { coord });
+        }
+
+        // Assign CHA IDs over enabled (non-disabled) capable tiles in the
+        // die's numbering order.
+        let mut tiles = vec![Tile::new(TileKind::Disabled); dim.tile_count()];
+        for coord in template.imc_positions() {
+            tiles[dim.linear_index(coord)] = Tile::new(TileKind::Imc);
+        }
+        for coord in template.system_positions() {
+            tiles[dim.linear_index(coord)] = Tile::new(TileKind::System);
+        }
+
+        let enabled: Vec<TileCoord> = capable
+            .iter()
+            .copied()
+            .filter(|c| !self.disabled.contains(c))
+            .collect();
+
+        let mut core_chas = Vec::new();
+        let mut cha_coords = Vec::with_capacity(enabled.len());
+        for (idx, &coord) in enabled.iter().enumerate() {
+            let cha = ChaId::new(idx as u16);
+            cha_coords.push(coord);
+            if !self.llc_only.contains(&coord) {
+                core_chas.push(cha);
+            }
+        }
+        if core_chas.is_empty() {
+            return Err(FloorplanError::NoCores);
+        }
+
+        let os_order = template.core_numbering().enumerate(core_chas);
+        let mut core_coords = Vec::with_capacity(os_order.len());
+        for (os_idx, &cha) in os_order.iter().enumerate() {
+            let coord = cha_coords[cha.index()];
+            tiles[dim.linear_index(coord)] = Tile::new(TileKind::Core {
+                cha,
+                core: OsCoreId::new(os_idx as u16),
+            });
+            core_coords.push(coord);
+        }
+        for &coord in &self.llc_only {
+            let cha_idx = cha_coords
+                .iter()
+                .position(|&c| c == coord)
+                .expect("llc-only tile is enabled");
+            tiles[dim.linear_index(coord)] = Tile::new(TileKind::LlcOnly {
+                cha: ChaId::new(cha_idx as u16),
+            });
+        }
+
+        Ok(Floorplan {
+            template,
+            dim,
+            tiles,
+            cha_coords,
+            core_coords,
+        })
+    }
+}
+
+/// A concrete die floorplan: the hidden ground truth that the mapping
+/// methodology reconstructs from mesh-traffic observations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Floorplan {
+    template: DieTemplate,
+    dim: GridDim,
+    tiles: Vec<Tile>,
+    /// Coordinate of each CHA, indexed by CHA ID.
+    cha_coords: Vec<TileCoord>,
+    /// Coordinate of each enabled core, indexed by OS core ID.
+    core_coords: Vec<TileCoord>,
+}
+
+impl Floorplan {
+    /// The die template this floorplan instantiates.
+    pub fn template(&self) -> DieTemplate {
+        self.template
+    }
+
+    /// Grid dimensions.
+    pub fn dim(&self) -> GridDim {
+        self.dim
+    }
+
+    /// The tile at `coord`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` is outside the grid.
+    pub fn tile(&self, coord: TileCoord) -> Tile {
+        self.tiles[self.dim.linear_index(coord)]
+    }
+
+    /// Number of active CHAs (core tiles + LLC-only tiles).
+    pub fn cha_count(&self) -> usize {
+        self.cha_coords.len()
+    }
+
+    /// Number of enabled cores.
+    pub fn core_count(&self) -> usize {
+        self.core_coords.len()
+    }
+
+    /// All active CHA IDs in ascending order.
+    pub fn chas(&self) -> impl Iterator<Item = ChaId> + '_ {
+        (0..self.cha_coords.len()).map(|i| ChaId::new(i as u16))
+    }
+
+    /// All enabled OS core IDs in ascending order.
+    pub fn cores(&self) -> impl Iterator<Item = OsCoreId> + '_ {
+        (0..self.core_coords.len()).map(|i| OsCoreId::new(i as u16))
+    }
+
+    /// CHA IDs of LLC-only tiles (active slice, fused-off core), ascending.
+    pub fn llc_only_chas(&self) -> Vec<ChaId> {
+        self.tiles
+            .iter()
+            .filter_map(|t| match t.kind() {
+                TileKind::LlcOnly { cha } => Some(cha),
+                _ => None,
+            })
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect()
+    }
+
+    /// Ground-truth coordinate of a CHA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cha` is not an active CHA of this floorplan.
+    pub fn coord_of_cha(&self, cha: ChaId) -> TileCoord {
+        self.cha_coords[cha.index()]
+    }
+
+    /// Ground-truth coordinate of an enabled core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is not an enabled core of this floorplan.
+    pub fn coord_of_core(&self, core: OsCoreId) -> TileCoord {
+        self.core_coords[core.index()]
+    }
+
+    /// Ground-truth OS-core -> CHA mapping (the hidden mapping recovered by
+    /// step 1 of the methodology). Indexed by OS core ID.
+    pub fn core_to_cha(&self) -> Vec<ChaId> {
+        self.core_coords
+            .iter()
+            .map(|&coord| self.tile(coord).kind().cha().expect("core tile has cha"))
+            .collect()
+    }
+
+    /// CHA co-located with the given enabled core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is not an enabled core of this floorplan.
+    pub fn cha_of_core(&self, core: OsCoreId) -> ChaId {
+        self.tile(self.coord_of_core(core))
+            .kind()
+            .cha()
+            .expect("core tile has cha")
+    }
+
+    /// Whether PMON events at `coord` are observable (tile has an active
+    /// CHA).
+    pub fn is_observable(&self, coord: TileCoord) -> bool {
+        self.tile(coord).is_observable()
+    }
+
+    /// Iterates over `(coord, tile)` for every grid position, row-major.
+    pub fn iter(&self) -> impl Iterator<Item = (TileCoord, Tile)> + '_ {
+        self.dim.iter_row_major().map(move |c| (c, self.tile(c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skx_template_geometry() {
+        let t = DieTemplate::SkylakeXcc;
+        assert_eq!(t.dim(), GridDim::new(5, 6));
+        assert_eq!(t.core_capable_count(), 28);
+        assert_eq!(t.imc_positions().len(), 2);
+    }
+
+    #[test]
+    fn icx_template_geometry() {
+        let t = DieTemplate::IceLakeXcc;
+        assert_eq!(t.dim(), GridDim::new(6, 8));
+        assert_eq!(t.core_capable_count(), 40);
+        assert_eq!(t.imc_positions().len(), 4);
+        assert_eq!(t.system_positions().len(), 4);
+    }
+
+    #[test]
+    fn full_skx_floorplan_has_28_cores() {
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .build()
+            .unwrap();
+        assert_eq!(plan.cha_count(), 28);
+        assert_eq!(plan.core_count(), 28);
+        assert!(plan.llc_only_chas().is_empty());
+    }
+
+    #[test]
+    fn cha_ids_are_column_major_skipping_disabled() {
+        // Disable the second tile in column-major order: (1,0) is IMC, so
+        // capable order starts (0,0),(2,0),(3,0),(4,0),(0,1)...
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .disable(TileCoord::new(2, 0))
+            .build()
+            .unwrap();
+        assert_eq!(plan.coord_of_cha(ChaId::new(0)), TileCoord::new(0, 0));
+        // CHA 1 skips the disabled (2,0) and lands on (3,0).
+        assert_eq!(plan.coord_of_cha(ChaId::new(1)), TileCoord::new(3, 0));
+        assert_eq!(plan.cha_count(), 27);
+    }
+
+    #[test]
+    fn stride4_enumeration_matches_table1_8124m() {
+        // 18 enabled cores => Table I row 1: CHA sequence
+        // 0 4 8 12 16 | 2 6 10 14 | 1 5 9 13 17 | 3 7 11 15
+        let chas: Vec<ChaId> = (0..18u16).map(ChaId::new).collect();
+        let order = CoreNumbering::Stride4Class.enumerate(chas);
+        let got: Vec<usize> = order.iter().map(|c| c.index()).collect();
+        assert_eq!(
+            got,
+            vec![0, 4, 8, 12, 16, 2, 6, 10, 14, 1, 5, 9, 13, 17, 3, 7, 11, 15]
+        );
+    }
+
+    #[test]
+    fn stride4_enumeration_matches_table1_8175m() {
+        let chas: Vec<ChaId> = (0..24u16).map(ChaId::new).collect();
+        let order = CoreNumbering::Stride4Class.enumerate(chas);
+        let got: Vec<usize> = order.iter().map(|c| c.index()).collect();
+        assert_eq!(
+            got,
+            vec![
+                0, 4, 8, 12, 16, 20, 2, 6, 10, 14, 18, 22, 1, 5, 9, 13, 17, 21, 3, 7, 11, 15, 19,
+                23
+            ]
+        );
+    }
+
+    #[test]
+    fn stride4_enumeration_matches_table1_8259cl_case_a() {
+        // 26 CHAs with 3 and 25 LLC-only => Table I "62 instances" row.
+        let chas: Vec<ChaId> = (0..26u16)
+            .filter(|&c| c != 3 && c != 25)
+            .map(ChaId::new)
+            .collect();
+        let order = CoreNumbering::Stride4Class.enumerate(chas);
+        let got: Vec<usize> = order.iter().map(|c| c.index()).collect();
+        assert_eq!(
+            got,
+            vec![
+                0, 4, 8, 12, 16, 20, 24, 2, 6, 10, 14, 18, 22, 1, 5, 9, 13, 17, 21, 7, 11, 15, 19,
+                23
+            ]
+        );
+    }
+
+    #[test]
+    fn llc_only_tiles_keep_cha_but_lose_core() {
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .llc_only(TileCoord::new(0, 0))
+            .build()
+            .unwrap();
+        assert_eq!(plan.cha_count(), 28);
+        assert_eq!(plan.core_count(), 27);
+        assert_eq!(plan.llc_only_chas(), vec![ChaId::new(0)]);
+        assert!(matches!(
+            plan.tile(TileCoord::new(0, 0)).kind(),
+            TileKind::LlcOnly { .. }
+        ));
+    }
+
+    #[test]
+    fn core_to_cha_is_consistent_with_coords() {
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .disable(TileCoord::new(2, 2))
+            .disable(TileCoord::new(4, 4))
+            .build()
+            .unwrap();
+        let map = plan.core_to_cha();
+        for core in plan.cores() {
+            let cha = map[core.index()];
+            assert_eq!(plan.coord_of_core(core), plan.coord_of_cha(cha));
+            assert_eq!(plan.cha_of_core(core), cha);
+        }
+    }
+
+    #[test]
+    fn build_rejects_imc_position() {
+        let err = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .disable(TileCoord::new(1, 0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, FloorplanError::NotCoreCapable { .. }));
+    }
+
+    #[test]
+    fn build_rejects_out_of_grid() {
+        let err = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .disable(TileCoord::new(9, 9))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, FloorplanError::OutOfGrid { .. }));
+    }
+
+    #[test]
+    fn build_rejects_conflicting_assignment() {
+        let c = TileCoord::new(0, 1);
+        let err = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .disable(c)
+            .llc_only(c)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, FloorplanError::ConflictingAssignment { coord: c });
+    }
+
+    #[test]
+    fn build_rejects_all_cores_disabled() {
+        let t = DieTemplate::SkylakeXcc;
+        let err = FloorplanBuilder::new(t)
+            .disable_all(t.core_capable_positions())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, FloorplanError::NoCores);
+    }
+
+    #[test]
+    fn icx_uses_row_major_and_ascending() {
+        let plan = FloorplanBuilder::new(DieTemplate::IceLakeXcc)
+            .build()
+            .unwrap();
+        // First capable tile in row-major order is (0,1) since (0,0) is a
+        // system tile.
+        assert_eq!(plan.coord_of_cha(ChaId::new(0)), TileCoord::new(0, 1));
+        // Ascending core numbering: OS core k co-located with CHA k when no
+        // tiles are fused off.
+        for core in plan.cores() {
+            assert_eq!(plan.cha_of_core(core).index(), core.index());
+        }
+    }
+
+    #[test]
+    fn iter_covers_whole_grid() {
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .build()
+            .unwrap();
+        assert_eq!(plan.iter().count(), 30);
+        let imcs = plan
+            .iter()
+            .filter(|(_, t)| matches!(t.kind(), TileKind::Imc))
+            .count();
+        assert_eq!(imcs, 2);
+    }
+}

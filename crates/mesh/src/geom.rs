@@ -1,0 +1,296 @@
+//! Grid geometry: coordinates, dimensions and ring-channel directions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Dimensions of a core tile grid: `rows x cols` (the paper's `T_h x T_w`).
+///
+/// ```
+/// use coremap_mesh::{GridDim, TileCoord};
+/// let dim = GridDim::new(5, 6);
+/// assert_eq!(dim.tile_count(), 30);
+/// assert!(dim.contains(TileCoord::new(4, 5)));
+/// assert!(!dim.contains(TileCoord::new(5, 0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GridDim {
+    /// Number of tile rows (`T_h`).
+    pub rows: usize,
+    /// Number of tile columns (`T_w`).
+    pub cols: usize,
+}
+
+impl GridDim {
+    /// Creates a new grid dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be non-zero");
+        Self { rows, cols }
+    }
+
+    /// Total number of grid positions.
+    pub const fn tile_count(self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether `coord` lies inside the grid.
+    pub const fn contains(self, coord: TileCoord) -> bool {
+        coord.row < self.rows && coord.col < self.cols
+    }
+
+    /// Iterates over every coordinate in column-major order (columns left to
+    /// right, rows top to bottom within a column) — the order in which
+    /// Skylake-generation dies assign CHA IDs to enabled tiles.
+    pub fn iter_column_major(self) -> impl Iterator<Item = TileCoord> {
+        let rows = self.rows;
+        (0..self.cols).flat_map(move |col| (0..rows).map(move |row| TileCoord { row, col }))
+    }
+
+    /// Iterates over every coordinate in row-major order.
+    pub fn iter_row_major(self) -> impl Iterator<Item = TileCoord> {
+        let cols = self.cols;
+        (0..self.rows).flat_map(move |row| (0..cols).map(move |col| TileCoord { row, col }))
+    }
+
+    /// Linear index of a coordinate in row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` is outside the grid.
+    pub fn linear_index(self, coord: TileCoord) -> usize {
+        assert!(self.contains(coord), "coordinate {coord} outside {self}");
+        coord.row * self.cols + coord.col
+    }
+}
+
+impl fmt::Display for GridDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+/// Position of a tile on the grid. Row 0 is the top ("north") edge, column 0
+/// the left ("west") edge, matching the die photographs in the paper's
+/// Fig. 1.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TileCoord {
+    /// Row index (0 = top).
+    pub row: usize,
+    /// Column index (0 = left).
+    pub col: usize,
+}
+
+impl TileCoord {
+    /// Creates a coordinate.
+    pub const fn new(row: usize, col: usize) -> Self {
+        Self { row, col }
+    }
+
+    /// Manhattan (hop) distance to `other`: the number of mesh links a
+    /// dimension-order-routed packet traverses between the two tiles.
+    ///
+    /// ```
+    /// use coremap_mesh::TileCoord;
+    /// let a = TileCoord::new(0, 0);
+    /// let b = TileCoord::new(2, 3);
+    /// assert_eq!(a.hop_distance(b), 5);
+    /// ```
+    pub fn hop_distance(self, other: TileCoord) -> usize {
+        self.row.abs_diff(other.row) + self.col.abs_diff(other.col)
+    }
+
+    /// The neighbouring coordinate in `dir`, if it stays within `dim`.
+    pub fn step(self, dir: Direction, dim: GridDim) -> Option<TileCoord> {
+        let (row, col) = match dir {
+            Direction::Up => (self.row.checked_sub(1)?, self.col),
+            Direction::Down => (self.row + 1, self.col),
+            Direction::Left => (self.row, self.col.checked_sub(1)?),
+            Direction::Right => (self.row, self.col + 1),
+        };
+        let next = TileCoord { row, col };
+        dim.contains(next).then_some(next)
+    }
+
+    /// All in-grid neighbours of this coordinate, paired with the direction
+    /// leading to them.
+    pub fn neighbors(self, dim: GridDim) -> impl Iterator<Item = (Direction, TileCoord)> {
+        Direction::ALL
+            .into_iter()
+            .filter_map(move |dir| self.step(dir, dim).map(|c| (dir, c)))
+    }
+}
+
+impl fmt::Display for TileCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(r{}, c{})", self.row, self.col)
+    }
+}
+
+/// Travel direction of a packet on the mesh, equivalently the ring data
+/// ("BL") channel class its hop occupies.
+///
+/// The uncore PMON exposes one *ingress-occupancy* counter per direction
+/// (`VERT_RING_BL_IN_USE.{UP,DN}` and `HORZ_RING_BL_IN_USE.{LF,RT}`, paper
+/// Sec. II-B). Vertical directions are reported truthfully; horizontal
+/// directions are scrambled by the odd-column tile flip (see
+/// [`route`](crate::route)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Toward row 0 (north).
+    Up,
+    /// Toward the last row (south).
+    Down,
+    /// Toward column 0 (west).
+    Left,
+    /// Toward the last column (east).
+    Right,
+}
+
+impl Direction {
+    /// All four directions, vertical first.
+    pub const ALL: [Direction; 4] = [
+        Direction::Up,
+        Direction::Down,
+        Direction::Left,
+        Direction::Right,
+    ];
+
+    /// Whether this is a vertical (up/down) channel.
+    pub const fn is_vertical(self) -> bool {
+        matches!(self, Direction::Up | Direction::Down)
+    }
+
+    /// Whether this is a horizontal (left/right) channel.
+    pub const fn is_horizontal(self) -> bool {
+        matches!(self, Direction::Left | Direction::Right)
+    }
+
+    /// The opposite direction.
+    pub const fn opposite(self) -> Direction {
+        match self {
+            Direction::Up => Direction::Down,
+            Direction::Down => Direction::Up,
+            Direction::Left => Direction::Right,
+            Direction::Right => Direction::Left,
+        }
+    }
+
+    /// Horizontal mirror: swaps left and right, leaves vertical directions
+    /// untouched. This is what the odd-column tile flip applies to the
+    /// *observed label* of a horizontal channel.
+    pub const fn mirror_horizontal(self) -> Direction {
+        match self {
+            Direction::Left => Direction::Right,
+            Direction::Right => Direction::Left,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::Up => "up",
+            Direction::Down => "down",
+            Direction::Left => "left",
+            Direction::Right => "right",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_major_order_matches_cha_numbering() {
+        let dim = GridDim::new(2, 3);
+        let order: Vec<_> = dim.iter_column_major().collect();
+        assert_eq!(
+            order,
+            vec![
+                TileCoord::new(0, 0),
+                TileCoord::new(1, 0),
+                TileCoord::new(0, 1),
+                TileCoord::new(1, 1),
+                TileCoord::new(0, 2),
+                TileCoord::new(1, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn row_major_covers_all_tiles_once() {
+        let dim = GridDim::new(3, 4);
+        let order: Vec<_> = dim.iter_row_major().collect();
+        assert_eq!(order.len(), 12);
+        let mut dedup = order.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 12);
+    }
+
+    #[test]
+    fn step_respects_bounds() {
+        let dim = GridDim::new(2, 2);
+        let origin = TileCoord::new(0, 0);
+        assert_eq!(origin.step(Direction::Up, dim), None);
+        assert_eq!(origin.step(Direction::Left, dim), None);
+        assert_eq!(
+            origin.step(Direction::Down, dim),
+            Some(TileCoord::new(1, 0))
+        );
+        assert_eq!(
+            origin.step(Direction::Right, dim),
+            Some(TileCoord::new(0, 1))
+        );
+    }
+
+    #[test]
+    fn neighbors_of_interior_tile() {
+        let dim = GridDim::new(3, 3);
+        let mid = TileCoord::new(1, 1);
+        assert_eq!(mid.neighbors(dim).count(), 4);
+        let corner = TileCoord::new(0, 0);
+        assert_eq!(corner.neighbors(dim).count(), 2);
+    }
+
+    #[test]
+    fn hop_distance_is_symmetric() {
+        let a = TileCoord::new(1, 4);
+        let b = TileCoord::new(3, 0);
+        assert_eq!(a.hop_distance(b), b.hop_distance(a));
+        assert_eq!(a.hop_distance(a), 0);
+    }
+
+    #[test]
+    fn direction_predicates() {
+        assert!(Direction::Up.is_vertical());
+        assert!(!Direction::Up.is_horizontal());
+        assert!(Direction::Left.is_horizontal());
+        assert_eq!(Direction::Up.opposite(), Direction::Down);
+        assert_eq!(Direction::Left.mirror_horizontal(), Direction::Right);
+        assert_eq!(Direction::Down.mirror_horizontal(), Direction::Down);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dim_panics() {
+        let _ = GridDim::new(0, 3);
+    }
+
+    #[test]
+    fn linear_index_row_major() {
+        let dim = GridDim::new(3, 4);
+        assert_eq!(dim.linear_index(TileCoord::new(0, 0)), 0);
+        assert_eq!(dim.linear_index(TileCoord::new(1, 2)), 6);
+        assert_eq!(dim.linear_index(TileCoord::new(2, 3)), 11);
+    }
+}

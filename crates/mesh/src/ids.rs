@@ -1,0 +1,164 @@
+//! Strongly-typed identifiers used throughout the workspace.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a Cache-Home Agent (CHA), the mesh stop of a core tile.
+///
+/// CHA IDs index the uncore-PMON MSR banks. On Skylake/Cascade Lake parts
+/// they are assigned in column-major order over the enabled tiles of the die
+/// (paper Sec. III-B); crucially they are *not* the IDs the operating system
+/// uses for cores, and the mapping between the two ID spaces is the subject
+/// of step 1 of the methodology (Sec. II-A).
+///
+/// ```
+/// use coremap_mesh::ChaId;
+/// let cha = ChaId::new(7);
+/// assert_eq!(cha.index(), 7);
+/// assert_eq!(cha.to_string(), "CHA7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChaId(u16);
+
+impl ChaId {
+    /// Creates a CHA identifier from its raw index.
+    pub const fn new(index: u16) -> Self {
+        Self(index)
+    }
+
+    /// Raw index of this CHA, usable to address its PMON MSR bank.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ChaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CHA{}", self.0)
+    }
+}
+
+impl From<u16> for ChaId {
+    fn from(v: u16) -> Self {
+        Self::new(v)
+    }
+}
+
+/// Identifier of a logical processor core as enumerated by the operating
+/// system (e.g. the `cpuN` index on Linux, with hyperthreading folded away).
+///
+/// Worker threads are pinned using OS core IDs; mesh traffic is observed per
+/// [`ChaId`](crate::ChaId). The two spaces are related by a hidden,
+/// per-instance mapping (paper Table I).
+///
+/// ```
+/// use coremap_mesh::OsCoreId;
+/// let core = OsCoreId::new(3);
+/// assert_eq!(core.index(), 3);
+/// assert_eq!(core.to_string(), "cpu3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OsCoreId(u16);
+
+impl OsCoreId {
+    /// Creates an OS core identifier from its raw index.
+    pub const fn new(index: u16) -> Self {
+        Self(index)
+    }
+
+    /// Raw index of this core in the OS enumeration order.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OsCoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+impl From<u16> for OsCoreId {
+    fn from(v: u16) -> Self {
+        Self::new(v)
+    }
+}
+
+/// Protected Processor Inventory Number: the per-chip serial number exposed
+/// through an MSR on Xeon parts.
+///
+/// The paper associates each recovered core map with the PPIN of the CPU
+/// instance it was measured on, so the (root-privileged) mapping step has to
+/// run only once per physical chip.
+///
+/// ```
+/// use coremap_mesh::Ppin;
+/// let ppin = Ppin::new(0xDEAD_BEEF_0042);
+/// assert_eq!(ppin.value(), 0xDEAD_BEEF_0042);
+/// assert_eq!(format!("{ppin}"), "PPIN-0000deadbeef0042");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ppin(u64);
+
+impl Ppin {
+    /// Wraps a raw 64-bit PPIN value.
+    pub const fn new(value: u64) -> Self {
+        Self(value)
+    }
+
+    /// Raw 64-bit value as read from the PPIN MSR.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Ppin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PPIN-{:016x}", self.0)
+    }
+}
+
+impl From<u64> for Ppin {
+    fn from(v: u64) -> Self {
+        Self::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cha_id_round_trip() {
+        let cha = ChaId::new(25);
+        assert_eq!(cha.index(), 25);
+        assert_eq!(ChaId::from(25u16), cha);
+    }
+
+    #[test]
+    fn os_core_id_round_trip() {
+        let core = OsCoreId::new(17);
+        assert_eq!(core.index(), 17);
+        assert_eq!(OsCoreId::from(17u16), core);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ChaId::new(2) < ChaId::new(10));
+        assert!(OsCoreId::new(0) < OsCoreId::new(1));
+    }
+
+    #[test]
+    fn ppin_display_is_hex_padded() {
+        assert_eq!(Ppin::new(1).to_string(), "PPIN-0000000000000001");
+    }
+
+    #[test]
+    fn ids_usable_as_map_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(ChaId::new(4), "four");
+        assert_eq!(m.get(&ChaId::new(4)), Some(&"four"));
+    }
+}

@@ -1,0 +1,57 @@
+//! # coremap-mesh
+//!
+//! Substrate model of the Intel Xeon Scalable mesh interconnect: the grid of
+//! *core tiles* that the mapping methodology of *"Know Your Neighbor:
+//! Physically Locating Xeon Processor Cores on the Core Tile Grid"* (DATE
+//! 2022) reverse-engineers.
+//!
+//! The crate provides:
+//!
+//! * Strongly-typed identifiers ([`ChaId`], [`OsCoreId`], [`Ppin`]) and grid
+//!   geometry ([`TileCoord`], [`GridDim`], [`Direction`]).
+//! * [`Floorplan`]s describing which grid position holds which kind of tile
+//!   (core + CHA/LLC, LLC-only, disabled core, integrated memory controller),
+//!   plus die templates for the Skylake/Cascade Lake XCC die and the Ice Lake
+//!   die, with defect-driven tile disabling and the column-major CHA
+//!   renumbering observed in the paper (Sec. III-B).
+//! * Dimension-order ("Y then X") [`route`](route::route) tracing that yields
+//!   the per-tile *ingress* ring-channel events an uncore PMON would count,
+//!   including the odd-column horizontal channel flip that makes the true
+//!   left/right travel direction unobservable (Sec. II-C.4).
+//!
+//! Higher layers ([`coremap-uncore`](https://docs.rs/coremap-uncore),
+//! [`coremap-core`](https://docs.rs/coremap-core)) drive traffic through a
+//! floorplan and reconstruct it from the observable events only.
+//!
+//! ```
+//! use coremap_mesh::{DieTemplate, FloorplanBuilder, TileCoord};
+//!
+//! # fn main() -> Result<(), coremap_mesh::FloorplanError> {
+//! // A fully-enabled Skylake XCC die: 28 core tiles on a 5x6 grid.
+//! let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc).build()?;
+//! assert_eq!(plan.cha_count(), 28);
+//! assert_eq!(plan.dim().rows, 5);
+//! assert_eq!(plan.dim().cols, 6);
+//! // The tile in the upper-left corner is a core tile with CHA 0.
+//! let coord = TileCoord::new(0, 0);
+//! assert!(plan.tile(coord).kind().has_cha());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod floorplan;
+mod geom;
+mod ids;
+pub mod route;
+mod tile;
+
+pub use error::FloorplanError;
+pub use floorplan::{DieTemplate, Floorplan, FloorplanBuilder};
+pub use geom::{Direction, GridDim, TileCoord};
+pub use ids::{ChaId, OsCoreId, Ppin};
+pub use route::{IngressEvent, Link, Route, RoutingDiscipline};
+pub use tile::{Tile, TileKind};

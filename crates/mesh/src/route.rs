@@ -1,0 +1,609 @@
+//! Dimension-order routing on the Xeon mesh and the ingress events it
+//! produces.
+//!
+//! The Xeon mesh uses a simple dimension-order routing discipline: a packet
+//! "always travels through the vertical (up or down) channels first and then
+//! proceeds to the target using the horizontal (left or right) channels"
+//! (paper Sec. II). The uncore PMON of each CHA counts the cycles each
+//! *ingress* data channel is occupied, so a monitoring tool observes, per
+//! tile, *which direction traffic arrived from* — but only at tiles whose
+//! CHA is active, and never which egress channel was used.
+//!
+//! Two physical quirks matter for reconstruction:
+//!
+//! * **Ingress-only visibility.** Each event in a [`Route`] is an ingress at
+//!   the receiving tile; the source tile itself records nothing.
+//! * **Odd-column flip.** "The core tiles in every odd column are flipped
+//!   horizontally on the Xeon tile grid" (Sec. II-C.4), so the *label* under
+//!   which a horizontal ingress is counted alternates between `left` and
+//!   `right` along the travel path. The [`IngressEvent::observed_label`]
+//!   field models this: it is what a PMON reader sees, and it carries no
+//!   reliable information about the true travel direction. Vertical labels
+//!   are truthful.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Direction, GridDim, TileCoord};
+
+/// Dimension-order routing discipline. The Xeon mesh routes vertically
+/// first ([`RoutingDiscipline::VerticalFirst`], paper Sec. II); the
+/// horizontal-first variant exists to study how sensitive the mapping
+/// method is to this assumption (`ablate_routing_assumption`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RoutingDiscipline {
+    /// Y then X — the documented Xeon behaviour.
+    #[default]
+    VerticalFirst,
+    /// X then Y — a hypothetical mesh the method's constraints do not
+    /// describe.
+    HorizontalFirst,
+}
+
+/// A single ingress event: a packet arrived at `tile` moving in
+/// `true_direction`, counted by the PMON under `observed_label`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IngressEvent {
+    /// The tile receiving the packet.
+    pub tile: TileCoord,
+    /// The actual travel direction of the packet (ground truth).
+    pub true_direction: Direction,
+    /// The channel label the tile's PMON counts this ingress under. Equal to
+    /// `true_direction` for vertical channels; mirrored on odd-column tiles
+    /// for horizontal channels.
+    pub observed_label: Direction,
+}
+
+impl IngressEvent {
+    fn new(tile: TileCoord, true_direction: Direction) -> Self {
+        let observed_label = if true_direction.is_horizontal() && tile.col % 2 == 1 {
+            true_direction.mirror_horizontal()
+        } else {
+            true_direction
+        };
+        Self {
+            tile,
+            true_direction,
+            observed_label,
+        }
+    }
+}
+
+/// The full event trace of one routed transfer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    source: TileCoord,
+    sink: TileCoord,
+    events: Vec<IngressEvent>,
+}
+
+impl Route {
+    /// Source tile of the transfer.
+    pub fn source(&self) -> TileCoord {
+        self.source
+    }
+
+    /// Sink tile of the transfer.
+    pub fn sink(&self) -> TileCoord {
+        self.sink
+    }
+
+    /// All ingress events in travel order (vertical segment first).
+    pub fn events(&self) -> &[IngressEvent] {
+        &self.events
+    }
+
+    /// Number of mesh links traversed.
+    pub fn hop_count(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// Traces the dimension-order (vertical first, then horizontal) route of a
+/// packet from `source` to `sink` on a `dim` grid.
+///
+/// Returns the ingress events at every tile the packet *arrives at*: the
+/// tiles of the source column strictly between source and turn point, the
+/// turn tile itself, the tiles of the sink row strictly between turn point
+/// and sink, and the sink. A zero-length route (source == sink) has no
+/// events.
+///
+/// # Panics
+///
+/// Panics if `source` or `sink` lie outside `dim`.
+///
+/// ```
+/// use coremap_mesh::{route::route, Direction, GridDim, TileCoord};
+///
+/// let dim = GridDim::new(5, 6);
+/// let r = route(TileCoord::new(4, 0), TileCoord::new(2, 2), dim);
+/// // Vertical first: up through (3,0) and (2,0), then right through (2,1)
+/// // and (2,2).
+/// let dirs: Vec<Direction> = r.events().iter().map(|e| e.true_direction).collect();
+/// assert_eq!(
+///     dirs,
+///     vec![Direction::Up, Direction::Up, Direction::Right, Direction::Right]
+/// );
+/// assert_eq!(r.hop_count(), 4);
+/// ```
+pub fn route(source: TileCoord, sink: TileCoord, dim: GridDim) -> Route {
+    route_with(source, sink, dim, RoutingDiscipline::VerticalFirst)
+}
+
+/// Traces a dimension-order route under an explicit discipline; see
+/// [`route`].
+///
+/// # Panics
+///
+/// Panics if `source` or `sink` lie outside `dim`.
+pub fn route_with(
+    source: TileCoord,
+    sink: TileCoord,
+    dim: GridDim,
+    discipline: RoutingDiscipline,
+) -> Route {
+    assert!(dim.contains(source), "source {source} outside grid {dim}");
+    assert!(dim.contains(sink), "sink {sink} outside grid {dim}");
+
+    let mut events = Vec::with_capacity(source.hop_distance(sink));
+
+    if discipline == RoutingDiscipline::HorizontalFirst && sink.col != source.col {
+        // Horizontal segment along the source row first.
+        let dir = if sink.col < source.col {
+            Direction::Left
+        } else {
+            Direction::Right
+        };
+        let cols: Box<dyn Iterator<Item = usize>> = if sink.col < source.col {
+            Box::new((sink.col..source.col).rev())
+        } else {
+            Box::new(source.col + 1..=sink.col)
+        };
+        for col in cols {
+            events.push(IngressEvent::new(TileCoord::new(source.row, col), dir));
+        }
+        // Then vertical along the sink column.
+        if sink.row != source.row {
+            let dir = if sink.row < source.row {
+                Direction::Up
+            } else {
+                Direction::Down
+            };
+            let rows: Box<dyn Iterator<Item = usize>> = if sink.row < source.row {
+                Box::new((sink.row..source.row).rev())
+            } else {
+                Box::new(source.row + 1..=sink.row)
+            };
+            for row in rows {
+                events.push(IngressEvent::new(TileCoord::new(row, sink.col), dir));
+            }
+        }
+        return Route {
+            source,
+            sink,
+            events,
+        };
+    }
+
+    // Vertical segment along the source column.
+    if sink.row != source.row {
+        let dir = if sink.row < source.row {
+            Direction::Up
+        } else {
+            Direction::Down
+        };
+        let rows: Box<dyn Iterator<Item = usize>> = if sink.row < source.row {
+            Box::new((sink.row..source.row).rev())
+        } else {
+            Box::new(source.row + 1..=sink.row)
+        };
+        for row in rows {
+            events.push(IngressEvent::new(TileCoord::new(row, source.col), dir));
+        }
+    }
+
+    // Horizontal segment along the sink row.
+    if sink.col != source.col {
+        let dir = if sink.col < source.col {
+            Direction::Left
+        } else {
+            Direction::Right
+        };
+        let cols: Box<dyn Iterator<Item = usize>> = if sink.col < source.col {
+            Box::new((sink.col..source.col).rev())
+        } else {
+            Box::new(source.col + 1..=sink.col)
+        };
+        for col in cols {
+            events.push(IngressEvent::new(TileCoord::new(sink.row, col), dir));
+        }
+    }
+
+    Route {
+        source,
+        sink,
+        events,
+    }
+}
+
+/// A directed mesh link: the edge entered by an ingress event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Link {
+    /// Tile the packet leaves.
+    pub from: TileCoord,
+    /// Tile the packet enters.
+    pub to: TileCoord,
+}
+
+impl Route {
+    /// The directed links this route occupies, in travel order.
+    pub fn links(&self) -> Vec<Link> {
+        let mut prev = self.source;
+        self.events
+            .iter()
+            .map(|e| {
+                let l = Link {
+                    from: prev,
+                    to: e.tile,
+                };
+                prev = e.tile;
+                l
+            })
+            .collect()
+    }
+}
+
+/// Number of directed links two routes share — the contention overlap that
+/// ring/mesh interference side channels exploit ([Paccagnella et al.,
+/// USENIX Security'21], the location-based attack class the paper's intro
+/// motivates).
+pub fn shared_links(a: &Route, b: &Route) -> usize {
+    use std::collections::BTreeSet;
+    let la: BTreeSet<Link> = a.links().into_iter().collect();
+    b.links().iter().filter(|l| la.contains(l)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIM: GridDim = GridDim { rows: 5, cols: 6 };
+
+    fn dirs(r: &Route) -> Vec<Direction> {
+        r.events().iter().map(|e| e.true_direction).collect()
+    }
+
+    fn tiles(r: &Route) -> Vec<TileCoord> {
+        r.events().iter().map(|e| e.tile).collect()
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let r = route(TileCoord::new(2, 2), TileCoord::new(2, 2), DIM);
+        assert!(r.events().is_empty());
+        assert_eq!(r.hop_count(), 0);
+    }
+
+    #[test]
+    fn vertical_only_down() {
+        let r = route(TileCoord::new(0, 3), TileCoord::new(3, 3), DIM);
+        assert_eq!(
+            tiles(&r),
+            vec![
+                TileCoord::new(1, 3),
+                TileCoord::new(2, 3),
+                TileCoord::new(3, 3)
+            ]
+        );
+        assert!(dirs(&r).iter().all(|&d| d == Direction::Down));
+    }
+
+    #[test]
+    fn vertical_only_up() {
+        let r = route(TileCoord::new(4, 1), TileCoord::new(1, 1), DIM);
+        assert_eq!(
+            tiles(&r),
+            vec![
+                TileCoord::new(3, 1),
+                TileCoord::new(2, 1),
+                TileCoord::new(1, 1)
+            ]
+        );
+        assert!(dirs(&r).iter().all(|&d| d == Direction::Up));
+    }
+
+    #[test]
+    fn horizontal_only_right() {
+        let r = route(TileCoord::new(2, 0), TileCoord::new(2, 3), DIM);
+        assert_eq!(
+            tiles(&r),
+            vec![
+                TileCoord::new(2, 1),
+                TileCoord::new(2, 2),
+                TileCoord::new(2, 3)
+            ]
+        );
+        assert!(dirs(&r).iter().all(|&d| d == Direction::Right));
+    }
+
+    #[test]
+    fn horizontal_only_left() {
+        let r = route(TileCoord::new(0, 5), TileCoord::new(0, 2), DIM);
+        assert_eq!(
+            tiles(&r),
+            vec![
+                TileCoord::new(0, 4),
+                TileCoord::new(0, 3),
+                TileCoord::new(0, 2)
+            ]
+        );
+        assert!(dirs(&r).iter().all(|&d| d == Direction::Left));
+    }
+
+    #[test]
+    fn l_shape_vertical_first() {
+        // From (4,0) to (0,5): all vertical hops happen in the source column
+        // before any horizontal hop in the sink row.
+        let r = route(TileCoord::new(4, 0), TileCoord::new(0, 5), DIM);
+        assert_eq!(r.hop_count(), 9);
+        let ds = dirs(&r);
+        let first_horizontal = ds.iter().position(|d| d.is_horizontal()).unwrap();
+        assert!(ds[..first_horizontal].iter().all(|d| d.is_vertical()));
+        assert!(ds[first_horizontal..].iter().all(|d| d.is_horizontal()));
+        // Vertical hops stay in the source column, horizontal in sink row.
+        for e in &r.events()[..first_horizontal] {
+            assert_eq!(e.tile.col, 0);
+        }
+        for e in &r.events()[first_horizontal..] {
+            assert_eq!(e.tile.row, 0);
+        }
+    }
+
+    #[test]
+    fn turn_tile_receives_vertical_ingress() {
+        // Turn tile (sink row, source column) is the last vertical receiver.
+        let r = route(TileCoord::new(3, 1), TileCoord::new(1, 4), DIM);
+        let turn = TileCoord::new(1, 1);
+        let ev = r.events().iter().find(|e| e.tile == turn).unwrap();
+        assert_eq!(ev.true_direction, Direction::Up);
+    }
+
+    #[test]
+    fn hop_count_equals_manhattan_distance() {
+        for src in DIM.iter_row_major() {
+            for dst in DIM.iter_row_major() {
+                let r = route(src, dst, DIM);
+                assert_eq!(r.hop_count(), src.hop_distance(dst), "{src} -> {dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_column_flips_horizontal_label_only() {
+        let r = route(TileCoord::new(0, 0), TileCoord::new(0, 3), DIM);
+        for e in r.events() {
+            assert_eq!(e.true_direction, Direction::Right);
+            if e.tile.col % 2 == 1 {
+                assert_eq!(e.observed_label, Direction::Left);
+            } else {
+                assert_eq!(e.observed_label, Direction::Right);
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_labels_are_truthful_everywhere() {
+        let r = route(TileCoord::new(0, 1), TileCoord::new(4, 1), DIM);
+        for e in r.events() {
+            assert_eq!(e.observed_label, e.true_direction);
+        }
+    }
+
+    #[test]
+    fn observed_horizontal_labels_alternate_along_path() {
+        // Eastbound along a row: labels must alternate R,L,R,L,... starting
+        // from the first receiving column's parity — the reason the true
+        // horizontal direction is unrecoverable from labels alone.
+        let r = route(TileCoord::new(2, 0), TileCoord::new(2, 5), DIM);
+        let labels: Vec<Direction> = r.events().iter().map(|e| e.observed_label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                Direction::Left,  // col 1 (odd, flipped)
+                Direction::Right, // col 2
+                Direction::Left,  // col 3
+                Direction::Right, // col 4
+                Direction::Left,  // col 5
+            ]
+        );
+        // Westbound over the same tiles yields the same *set* of labels per
+        // parity class, demonstrating the ambiguity.
+        let back = route(TileCoord::new(2, 5), TileCoord::new(2, 0), DIM);
+        let back_labels: Vec<Direction> = back.events().iter().map(|e| e.observed_label).collect();
+        assert_eq!(
+            back_labels,
+            vec![
+                Direction::Left,  // col 4 (even, truthful)
+                Direction::Right, // col 3 (odd, flipped)
+                Direction::Left,  // col 2
+                Direction::Right, // col 1
+                Direction::Left,  // col 0
+            ]
+        );
+    }
+
+    #[test]
+    fn horizontal_first_reverses_segment_order() {
+        let r = route_with(
+            TileCoord::new(4, 0),
+            TileCoord::new(2, 2),
+            DIM,
+            RoutingDiscipline::HorizontalFirst,
+        );
+        let ds = dirs(&r);
+        let first_vertical = ds.iter().position(|d| d.is_vertical()).unwrap();
+        assert!(ds[..first_vertical].iter().all(|d| d.is_horizontal()));
+        assert!(ds[first_vertical..].iter().all(|d| d.is_vertical()));
+        // Horizontal hops stay in the source row, vertical in sink column.
+        for e in &r.events()[..first_vertical] {
+            assert_eq!(e.tile.row, 4);
+        }
+        for e in &r.events()[first_vertical..] {
+            assert_eq!(e.tile.col, 2);
+        }
+        assert_eq!(r.hop_count(), 4);
+        assert_eq!(r.events().last().unwrap().tile, TileCoord::new(2, 2));
+    }
+
+    #[test]
+    fn disciplines_agree_on_straight_paths() {
+        for (src, dst) in [
+            (TileCoord::new(0, 0), TileCoord::new(0, 4)),
+            (TileCoord::new(4, 2), TileCoord::new(1, 2)),
+        ] {
+            let yx = route(src, dst, DIM);
+            let xy = route_with(src, dst, DIM, RoutingDiscipline::HorizontalFirst);
+            assert_eq!(yx, xy);
+        }
+    }
+
+    #[test]
+    fn links_follow_the_event_trace() {
+        let r = route(TileCoord::new(2, 0), TileCoord::new(0, 1), DIM);
+        let links = r.links();
+        assert_eq!(links.len(), r.hop_count());
+        assert_eq!(links[0].from, TileCoord::new(2, 0));
+        assert_eq!(links.last().unwrap().to, TileCoord::new(0, 1));
+        // Consecutive links chain.
+        for w in links.windows(2) {
+            assert_eq!(w[0].to, w[1].from);
+        }
+    }
+
+    #[test]
+    fn shared_links_counts_common_directed_edges() {
+        // Two southbound flows down the same column share the overlap of
+        // their vertical segments.
+        let a = route(TileCoord::new(0, 2), TileCoord::new(4, 2), DIM);
+        let b = route(TileCoord::new(1, 2), TileCoord::new(3, 2), DIM);
+        assert_eq!(shared_links(&a, &b), 2); // links 1->2 and 2->3
+                                             // Opposite directions share nothing (links are directed).
+        let c = route(TileCoord::new(4, 2), TileCoord::new(0, 2), DIM);
+        assert_eq!(shared_links(&a, &c), 0);
+        // Disjoint columns share nothing.
+        let d = route(TileCoord::new(0, 5), TileCoord::new(4, 5), DIM);
+        assert_eq!(shared_links(&a, &d), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn route_panics_outside_grid() {
+        let _ = route(TileCoord::new(9, 9), TileCoord::new(0, 0), DIM);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn coord_strategy(dim: GridDim) -> impl Strategy<Value = TileCoord> {
+        (0..dim.rows, 0..dim.cols).prop_map(|(r, c)| TileCoord::new(r, c))
+    }
+
+    proptest! {
+        #[test]
+        fn route_ends_at_sink(
+            (src, dst) in (coord_strategy(GridDim{rows:6, cols:8}),
+                           coord_strategy(GridDim{rows:6, cols:8}))
+        ) {
+            let dim = GridDim::new(6, 8);
+            let r = route(src, dst, dim);
+            if src == dst {
+                prop_assert!(r.events().is_empty());
+            } else {
+                prop_assert_eq!(r.events().last().unwrap().tile, dst);
+            }
+        }
+
+        #[test]
+        fn route_is_contiguous(
+            (src, dst) in (coord_strategy(GridDim{rows:6, cols:8}),
+                           coord_strategy(GridDim{rows:6, cols:8}))
+        ) {
+            let dim = GridDim::new(6, 8);
+            let r = route(src, dst, dim);
+            let mut prev = src;
+            for e in r.events() {
+                // Each event's tile is one step from the previous position in
+                // the event's true direction.
+                prop_assert_eq!(prev.step(e.true_direction, dim), Some(e.tile));
+                prev = e.tile;
+            }
+        }
+
+        #[test]
+        fn vertical_receivers_share_source_column_horizontal_share_sink_row(
+            (src, dst) in (coord_strategy(GridDim{rows:6, cols:8}),
+                           coord_strategy(GridDim{rows:6, cols:8}))
+        ) {
+            let dim = GridDim::new(6, 8);
+            let r = route(src, dst, dim);
+            for e in r.events() {
+                if e.true_direction.is_vertical() {
+                    prop_assert_eq!(e.tile.col, src.col);
+                } else {
+                    prop_assert_eq!(e.tile.row, dst.row);
+                }
+            }
+        }
+
+        #[test]
+        fn horizontal_first_routes_are_contiguous_and_complete(
+            (src, dst) in (coord_strategy(GridDim{rows:6, cols:8}),
+                           coord_strategy(GridDim{rows:6, cols:8}))
+        ) {
+            let dim = GridDim::new(6, 8);
+            let r = route_with(src, dst, dim, RoutingDiscipline::HorizontalFirst);
+            prop_assert_eq!(r.hop_count(), src.hop_distance(dst));
+            let mut prev = src;
+            for e in r.events() {
+                prop_assert_eq!(prev.step(e.true_direction, dim), Some(e.tile));
+                prev = e.tile;
+            }
+            if src != dst {
+                prop_assert_eq!(r.events().last().unwrap().tile, dst);
+            }
+            // Mirror property: horizontal receivers share the source row,
+            // vertical receivers the sink column.
+            for e in r.events() {
+                if e.true_direction.is_horizontal() {
+                    prop_assert_eq!(e.tile.row, src.row);
+                } else {
+                    prop_assert_eq!(e.tile.col, dst.col);
+                }
+            }
+        }
+
+        #[test]
+        fn vertical_receivers_lie_in_row_bounding_box(
+            (src, dst) in (coord_strategy(GridDim{rows:6, cols:8}),
+                           coord_strategy(GridDim{rows:6, cols:8}))
+        ) {
+            let dim = GridDim::new(6, 8);
+            let r = route(src, dst, dim);
+            for e in r.events().iter().filter(|e| e.true_direction.is_vertical()) {
+                // Paper Eq. (1): for up channels R_s > R_k >= R_e (and the
+                // mirrored version for down channels).
+                match e.true_direction {
+                    Direction::Up => {
+                        prop_assert!(src.row > e.tile.row && e.tile.row >= dst.row);
+                    }
+                    Direction::Down => {
+                        prop_assert!(src.row < e.tile.row && e.tile.row <= dst.row);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}

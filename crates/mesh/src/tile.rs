@@ -1,0 +1,153 @@
+//! Tile kinds occupying grid positions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ChaId, OsCoreId};
+
+/// What occupies a grid position on the die.
+///
+/// The partial-observability cases of paper Sec. II-B all stem from tile
+/// kinds: IMC tiles and disabled tiles route traffic but expose no usable
+/// PMON; LLC-only tiles expose a PMON but cannot host worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TileKind {
+    /// A full core tile: processor core + CHA + LLC slice. Observable and
+    /// usable as a traffic source or sink.
+    Core {
+        /// CHA ID of the tile's mesh stop / LLC slice.
+        cha: ChaId,
+        /// OS core ID of the tile's processor core.
+        core: OsCoreId,
+    },
+    /// A tile whose core is fused off but whose CHA/LLC slice remains
+    /// active. Observable (its PMON counts), but cannot run threads.
+    LlcOnly {
+        /// CHA ID of the still-active slice.
+        cha: ChaId,
+    },
+    /// A tile disabled entirely (defective or fused-off core *and* slice).
+    /// Still a valid mesh stop forwarding traffic, but its PMON is disabled,
+    /// so traffic through it is invisible (paper Fig. 2).
+    Disabled,
+    /// An integrated memory controller tile: no core, no CHA, no PMON in our
+    /// observation model; routes traffic.
+    Imc,
+    /// A non-core system tile (UPI / PCIe root and similar); routes traffic,
+    /// not observable. Present on the Ice Lake die template.
+    System,
+}
+
+impl TileKind {
+    /// Whether the tile has an active CHA (and thus a PMON bank we can read).
+    pub const fn has_cha(&self) -> bool {
+        matches!(self, TileKind::Core { .. } | TileKind::LlcOnly { .. })
+    }
+
+    /// Whether the tile has an enabled processor core (usable for pinning
+    /// worker threads).
+    pub const fn has_core(&self) -> bool {
+        matches!(self, TileKind::Core { .. })
+    }
+
+    /// CHA ID if the tile has an active CHA.
+    pub const fn cha(&self) -> Option<ChaId> {
+        match self {
+            TileKind::Core { cha, .. } | TileKind::LlcOnly { cha } => Some(*cha),
+            _ => None,
+        }
+    }
+
+    /// OS core ID if the tile has an enabled core.
+    pub const fn core(&self) -> Option<OsCoreId> {
+        match self {
+            TileKind::Core { core, .. } => Some(*core),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TileKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileKind::Core { cha, core } => write!(f, "{core}/{cha}"),
+            TileKind::LlcOnly { cha } => write!(f, "LLC/{cha}"),
+            TileKind::Disabled => f.write_str("DIS"),
+            TileKind::Imc => f.write_str("IMC"),
+            TileKind::System => f.write_str("SYS"),
+        }
+    }
+}
+
+/// A tile instance: kind plus bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tile {
+    kind: TileKind,
+}
+
+impl Tile {
+    /// Creates a tile of the given kind.
+    pub const fn new(kind: TileKind) -> Self {
+        Self { kind }
+    }
+
+    /// The tile's kind.
+    pub const fn kind(&self) -> TileKind {
+        self.kind
+    }
+
+    /// Whether uncore-PMON events at this tile are observable by a
+    /// monitoring tool (active CHA required).
+    pub const fn is_observable(&self) -> bool {
+        self.kind.has_cha()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_tile_has_cha_and_core() {
+        let t = Tile::new(TileKind::Core {
+            cha: ChaId::new(3),
+            core: OsCoreId::new(7),
+        });
+        assert!(t.kind().has_cha());
+        assert!(t.kind().has_core());
+        assert_eq!(t.kind().cha(), Some(ChaId::new(3)));
+        assert_eq!(t.kind().core(), Some(OsCoreId::new(7)));
+        assert!(t.is_observable());
+    }
+
+    #[test]
+    fn llc_only_tile_is_observable_but_not_usable() {
+        let t = Tile::new(TileKind::LlcOnly {
+            cha: ChaId::new(25),
+        });
+        assert!(t.is_observable());
+        assert!(!t.kind().has_core());
+        assert_eq!(t.kind().core(), None);
+    }
+
+    #[test]
+    fn disabled_imc_and_system_tiles_are_invisible() {
+        for kind in [TileKind::Disabled, TileKind::Imc, TileKind::System] {
+            let t = Tile::new(kind);
+            assert!(!t.is_observable());
+            assert_eq!(t.kind().cha(), None);
+            assert_eq!(t.kind().core(), None);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = TileKind::Core {
+            cha: ChaId::new(1),
+            core: OsCoreId::new(2),
+        };
+        assert_eq!(t.to_string(), "cpu2/CHA1");
+        assert_eq!(TileKind::Imc.to_string(), "IMC");
+    }
+}

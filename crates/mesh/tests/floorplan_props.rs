@@ -1,0 +1,98 @@
+//! Property tests of floorplan construction invariants.
+
+use coremap_mesh::{ChaId, DieTemplate, FloorplanBuilder, TileCoord, TileKind};
+use proptest::prelude::*;
+
+fn arbitrary_config(template: DieTemplate) -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    let n = template.core_capable_count();
+    (
+        prop::collection::btree_set(0..n, 0..n / 2),
+        prop::collection::btree_set(0..n, 0..4),
+    )
+        .prop_map(|(d, l)| {
+            let disabled: Vec<usize> = d.into_iter().collect();
+            let llc: Vec<usize> = l.into_iter().filter(|i| !disabled.contains(i)).collect();
+            (disabled, llc)
+        })
+}
+
+fn check_template(template: DieTemplate, disabled: Vec<usize>, llc: Vec<usize>) {
+    let capable = template.core_capable_positions();
+    let disabled_pos: Vec<TileCoord> = disabled.iter().map(|&i| capable[i]).collect();
+    let llc_pos: Vec<TileCoord> = llc.iter().map(|&i| capable[i]).collect();
+    let expected_cha = capable.len() - disabled_pos.len();
+    let expected_cores = expected_cha - llc_pos.len();
+    if expected_cores == 0 {
+        return;
+    }
+    let plan = FloorplanBuilder::new(template)
+        .disable_all(disabled_pos.clone())
+        .llc_only_all(llc_pos.clone())
+        .build()
+        .expect("valid configuration");
+
+    // CHA IDs are contiguous and assigned in the die's numbering order over
+    // enabled tiles.
+    assert_eq!(plan.cha_count(), expected_cha);
+    let mut last: Option<usize> = None;
+    for (idx, &coord) in capable
+        .iter()
+        .filter(|c| !disabled_pos.contains(c))
+        .enumerate()
+    {
+        assert_eq!(plan.coord_of_cha(ChaId::new(idx as u16)), coord);
+        if let Some(prev) = last {
+            assert_eq!(idx, prev + 1);
+        }
+        last = Some(idx);
+    }
+
+    // Core <-> CHA mapping is a bijection onto the non-LLC-only CHAs.
+    assert_eq!(plan.core_count(), expected_cores);
+    let mut seen = std::collections::HashSet::new();
+    for core in plan.cores() {
+        let cha = plan.cha_of_core(core);
+        assert!(seen.insert(cha), "cha {cha} mapped twice");
+        assert!(!plan.llc_only_chas().contains(&cha));
+    }
+
+    // Every grid position has a consistent tile kind.
+    for (coord, tile) in plan.iter() {
+        match tile.kind() {
+            TileKind::Core { cha, core } => {
+                assert_eq!(plan.coord_of_cha(cha), coord);
+                assert_eq!(plan.coord_of_core(core), coord);
+            }
+            TileKind::LlcOnly { cha } => {
+                assert_eq!(plan.coord_of_cha(cha), coord);
+                assert!(llc_pos.contains(&coord));
+            }
+            TileKind::Disabled => {
+                assert!(
+                    disabled_pos.contains(&coord)
+                        || !template.core_capable_positions().contains(&coord)
+                );
+            }
+            TileKind::Imc => assert!(template.imc_positions().contains(&coord)),
+            TileKind::System => assert!(template.system_positions().contains(&coord)),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn skylake_floorplans_hold_invariants(
+        (disabled, llc) in arbitrary_config(DieTemplate::SkylakeXcc)
+    ) {
+        check_template(DieTemplate::SkylakeXcc, disabled, llc);
+    }
+
+    #[test]
+    fn icelake_floorplans_hold_invariants(
+        (disabled, llc) in arbitrary_config(DieTemplate::IceLakeXcc)
+    ) {
+        check_template(DieTemplate::IceLakeXcc, disabled, llc);
+    }
+}

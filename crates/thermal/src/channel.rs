@@ -1,0 +1,431 @@
+//! The inter-core thermal covert channel (paper Sec. IV–V).
+
+use coremap_mesh::OsCoreId;
+use serde::{Deserialize, Serialize};
+
+use crate::decode::{self, synchronize_and_decode};
+use crate::encoding::{self, frame};
+use crate::power::ActivityLevel;
+use crate::ThermalSim;
+
+/// One covert channel: one or more synchronized sender cores and a receiver
+/// core, transmitting at a fixed bit rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelConfig {
+    /// Sender cores; all modulate the identical waveform (multi-sender
+    /// amplification, paper Sec. V-B, up to the 8 tiles surrounding the
+    /// receiver).
+    pub senders: Vec<OsCoreId>,
+    /// Receiver core; reads only its own sensor.
+    pub receiver: OsCoreId,
+    /// Bit rate (bits per second).
+    pub bit_rate: f64,
+    /// Use NRZ instead of Manchester (encoding ablation).
+    pub nrz: bool,
+    /// Stress workload driven during "hot" half-bits. The paper found
+    /// branch misses the hottest stressor (Sec. IV-A); weaker workloads
+    /// shrink the received swing (the stressor ablation measures this).
+    pub stressor: crate::power::StressorKind,
+}
+
+impl ChannelConfig {
+    /// A Manchester channel.
+    pub fn new(senders: Vec<OsCoreId>, receiver: OsCoreId, bit_rate: f64) -> Self {
+        Self {
+            senders,
+            receiver,
+            bit_rate,
+            nrz: false,
+            stressor: crate::power::StressorKind::BranchMiss,
+        }
+    }
+
+    /// Selects the stress workload used for the hot half-bits.
+    pub fn with_stressor(mut self, stressor: crate::power::StressorKind) -> Self {
+        self.stressor = stressor;
+        self
+    }
+
+    /// Seconds per transmitted bit.
+    pub fn bit_period(&self) -> f64 {
+        1.0 / self.bit_rate
+    }
+
+    /// Transmits `payload` over the channel and decodes it offline,
+    /// returning the transfer report. The simulation is advanced in place
+    /// (a long settling window is inserted first so back-to-back transfers
+    /// do not leak heat into each other).
+    pub fn transfer(&self, sim: &mut ThermalSim, payload: &[bool]) -> TransferReport {
+        let reports = run_multi_channel(sim, std::slice::from_ref(self), &[payload.to_vec()]);
+        reports.channels.into_iter().next().expect("one channel")
+    }
+}
+
+/// Outcome of one channel's transfer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferReport {
+    /// Payload bits transmitted.
+    pub bits: usize,
+    /// Payload bits decoded incorrectly.
+    pub errors: usize,
+    /// Channel bit rate (bps).
+    pub bit_rate: f64,
+    /// Wall-clock (simulated) seconds the frame occupied.
+    pub seconds: f64,
+    /// Sample offset the synchronizer locked to, if it locked.
+    pub sync_offset: Option<usize>,
+    /// The decoded payload.
+    pub decoded: Vec<bool>,
+    /// The raw (quantized) receiver temperature trace, one entry per sensor
+    /// sample — kept for trace plots (paper Fig. 6).
+    pub samples: Vec<f64>,
+}
+
+impl TransferReport {
+    /// Bit error rate of the payload.
+    pub fn ber(&self) -> f64 {
+        if self.bits == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.bits as f64
+        }
+    }
+
+    /// Error-free goodput in bits per second (`rate * (1 - ber)`).
+    pub fn goodput_bps(&self) -> f64 {
+        self.bit_rate * (1.0 - self.ber())
+    }
+
+    /// Shannon capacity of the channel modelled as a binary symmetric
+    /// channel with the measured error probability:
+    /// `rate * (1 - H2(ber))` bits per second. This is the
+    /// information-theoretic ceiling prior work frames its results in
+    /// ([Bartolini et al., EuroSys'16]); the paper reports raw rate/BER
+    /// pairs instead.
+    pub fn bsc_capacity_bps(&self) -> f64 {
+        fn h2(p: f64) -> f64 {
+            if p <= 0.0 || p >= 1.0 {
+                return 0.0;
+            }
+            -p * p.log2() - (1.0 - p) * (1.0 - p).log2()
+        }
+        self.bit_rate * (1.0 - h2(self.ber()))
+    }
+}
+
+/// Aggregate outcome of a concurrent multi-channel transfer (paper Sec.
+/// V-C).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiChannelReport {
+    /// Per-channel reports.
+    pub channels: Vec<TransferReport>,
+}
+
+impl MultiChannelReport {
+    /// Sum of the channel bit rates (the paper's "aggregated throughput").
+    pub fn aggregate_rate_bps(&self) -> f64 {
+        self.channels.iter().map(|c| c.bit_rate).sum()
+    }
+
+    /// Error rate across all transmitted payload bits.
+    pub fn aggregate_ber(&self) -> f64 {
+        let bits: usize = self.channels.iter().map(|c| c.bits).sum();
+        let errors: usize = self.channels.iter().map(|c| c.errors).sum();
+        if bits == 0 {
+            0.0
+        } else {
+            errors as f64 / bits as f64
+        }
+    }
+}
+
+/// Runs several channels *concurrently* on one machine and decodes each
+/// receiver's trace. All channels must share one bit rate (the paper's
+/// multi-channel setting transmits synchronized equal-rate streams).
+///
+/// # Panics
+///
+/// Panics if `channels` and `payloads` differ in length, if the rates
+/// differ, or if a payload is empty.
+pub fn run_multi_channel(
+    sim: &mut ThermalSim,
+    channels: &[ChannelConfig],
+    payloads: &[Vec<bool>],
+) -> MultiChannelReport {
+    assert_eq!(channels.len(), payloads.len(), "one payload per channel");
+    assert!(!channels.is_empty(), "at least one channel");
+    let rate = channels[0].bit_rate;
+    assert!(
+        channels.iter().all(|c| (c.bit_rate - rate).abs() < 1e-9),
+        "multi-channel transfers share one bit rate"
+    );
+    assert!(payloads.iter().all(|p| !p.is_empty()), "non-empty payloads");
+
+    // Per-channel framed waveforms, as per-half-bit activity levels.
+    let frames: Vec<Vec<bool>> = payloads.iter().map(|p| frame(p)).collect();
+    let waveforms: Vec<Vec<ActivityLevel>> = frames
+        .iter()
+        .zip(channels)
+        .map(|(f, c)| {
+            if c.nrz {
+                // NRZ occupies a full bit period per level; duplicate to
+                // keep the half-bit clock uniform across channels.
+                encoding::nrz(f).into_iter().flat_map(|l| [l, l]).collect()
+            } else {
+                encoding::manchester(f)
+            }
+        })
+        .collect();
+
+    // Settle to (near) equilibrium so prior activity cannot leak in.
+    for c in channels {
+        for &s in &c.senders {
+            sim.set_activity(s, ActivityLevel::Idle);
+        }
+    }
+    sim.advance(3.0);
+
+    let dt = sim.dt();
+    let half_period = 1.0 / (2.0 * rate);
+    let sample_period = sim.sensor().sample_period();
+    let n_halfbits = waveforms.iter().map(Vec::len).max().expect("non-empty");
+    let total_time = n_halfbits as f64 * half_period + 2.0 / rate;
+    let total_steps = (total_time / dt).ceil() as usize;
+
+    let mut traces: Vec<Vec<f64>> = vec![Vec::new(); channels.len()];
+    let mut next_sample = 0.0f64;
+    let t0 = sim.time();
+    for step in 0..total_steps {
+        let t = step as f64 * dt;
+        let half_idx = (t / half_period) as usize;
+        for (c, wf) in channels.iter().zip(&waveforms) {
+            let level = match wf.get(half_idx).copied().unwrap_or(ActivityLevel::Idle) {
+                ActivityLevel::Stress => ActivityLevel::Workload(c.stressor),
+                other => other,
+            };
+            for &s in &c.senders {
+                sim.set_activity(s, level);
+            }
+        }
+        sim.step();
+        if sim.time() - t0 >= next_sample {
+            for (ci, c) in channels.iter().enumerate() {
+                traces[ci].push(sim.sample(c.receiver));
+            }
+            next_sample += sample_period;
+        }
+    }
+    // Leave everything idle.
+    for c in channels {
+        for &s in &c.senders {
+            sim.set_activity(s, ActivityLevel::Idle);
+        }
+    }
+
+    let samples_per_bit = (1.0 / rate) / sample_period;
+    let reports = channels
+        .iter()
+        .zip(payloads)
+        .zip(traces)
+        .map(|((c, payload), trace)| {
+            let result = synchronize_and_decode(&trace, payload.len(), samples_per_bit);
+            let (sync_offset, decoded) = match result {
+                Some(r) => (Some(r.offset), r.payload),
+                None => (None, vec![false; payload.len()]),
+            };
+            let errors = decode::bit_errors(payload, &decoded);
+            TransferReport {
+                bits: payload.len(),
+                errors,
+                bit_rate: c.bit_rate,
+                seconds: (frames[0].len() as f64) / c.bit_rate,
+                sync_offset,
+                decoded,
+                samples: trace,
+            }
+        })
+        .collect();
+    MultiChannelReport { channels: reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::ThermalNoise;
+    use crate::ThermalParams;
+    use coremap_mesh::{DieTemplate, Floorplan, FloorplanBuilder};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn plan() -> Floorplan {
+        FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .build()
+            .unwrap()
+    }
+
+    /// A vertically adjacent (sender, receiver) pair from ground truth.
+    fn vertical_pair(plan: &Floorplan) -> (OsCoreId, OsCoreId) {
+        let cores: Vec<OsCoreId> = plan.cores().collect();
+        cores
+            .iter()
+            .flat_map(|&a| cores.iter().map(move |&b| (a, b)))
+            .find(|&(a, b)| {
+                let ca = plan.coord_of_core(a);
+                let cb = plan.coord_of_core(b);
+                ca.col == cb.col && ca.row.abs_diff(cb.row) == 1
+            })
+            .expect("vertical pair")
+    }
+
+    fn random_bits(n: usize, seed: u64) -> Vec<bool> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn bsc_capacity_brackets_goodput() {
+        let mk = |bits: usize, errors: usize| TransferReport {
+            bits,
+            errors,
+            bit_rate: 4.0,
+            seconds: 1.0,
+            sync_offset: Some(0),
+            decoded: vec![false; bits],
+            samples: Vec::new(),
+        };
+        // Error-free channel: capacity equals the raw rate.
+        assert!((mk(100, 0).bsc_capacity_bps() - 4.0).abs() < 1e-12);
+        // Coin-flip channel: zero capacity.
+        assert!(mk(100, 50).bsc_capacity_bps() < 1e-9);
+        // Intermediate: strictly between zero and the raw rate.
+        let c = mk(100, 10).bsc_capacity_bps();
+        assert!(c > 0.0 && c < 4.0, "capacity {c}");
+    }
+
+    #[test]
+    fn one_hop_vertical_at_1bps_is_nearly_error_free() {
+        let p = plan();
+        let (tx, rx) = vertical_pair(&p);
+        let mut sim = ThermalSim::new(p, ThermalParams::default(), 7);
+        let payload = random_bits(40, 1);
+        let report = ChannelConfig::new(vec![tx], rx, 1.0).transfer(&mut sim, &payload);
+        assert!(
+            report.ber() <= 0.05,
+            "1-hop vertical 1 bps should be nearly clean, ber={}",
+            report.ber()
+        );
+    }
+
+    #[test]
+    fn distant_receiver_fails() {
+        let p = plan();
+        let cores: Vec<OsCoreId> = p.cores().collect();
+        // Find a pair at least 5 hops apart.
+        let (tx, rx) = cores
+            .iter()
+            .flat_map(|&a| cores.iter().map(move |&b| (a, b)))
+            .find(|&(a, b)| p.coord_of_core(a).hop_distance(p.coord_of_core(b)) >= 5)
+            .unwrap();
+        let mut sim = ThermalSim::new(p, ThermalParams::default(), 7);
+        let payload = random_bits(40, 2);
+        let report = ChannelConfig::new(vec![tx], rx, 2.0).transfer(&mut sim, &payload);
+        assert!(
+            report.ber() > 0.2,
+            "far receiver should be unusable, ber={}",
+            report.ber()
+        );
+    }
+
+    #[test]
+    fn multi_sender_beats_single_sender_at_speed() {
+        let p = plan();
+        let (tx, rx) = vertical_pair(&p);
+        // Gather all neighbours of rx as extra senders.
+        let rxc = p.coord_of_core(rx);
+        let extra: Vec<OsCoreId> = p
+            .cores()
+            .filter(|&c| c != rx && p.coord_of_core(c).hop_distance(rxc) == 1)
+            .collect();
+        assert!(extra.len() >= 2);
+        let payload = random_bits(60, 3);
+        let rate = 5.0;
+
+        let mut sim1 = ThermalSim::new(p.clone(), ThermalParams::default(), 5)
+            .with_noise(ThermalNoise::cloud(p.dim().tile_count()));
+        let single = ChannelConfig::new(vec![tx], rx, rate).transfer(&mut sim1, &payload);
+        let mut sim2 = ThermalSim::new(p.clone(), ThermalParams::default(), 5)
+            .with_noise(ThermalNoise::cloud(p.dim().tile_count()));
+        let multi = ChannelConfig::new(extra, rx, rate).transfer(&mut sim2, &payload);
+        assert!(
+            multi.ber() <= single.ber(),
+            "multi-sender {} vs single {}",
+            multi.ber(),
+            single.ber()
+        );
+    }
+
+    #[test]
+    fn concurrent_channels_report_aggregate() {
+        let p = plan();
+        // Two disjoint vertical pairs, far apart.
+        let cores: Vec<OsCoreId> = p.cores().collect();
+        let mut pairs = Vec::new();
+        let mut used: Vec<OsCoreId> = Vec::new();
+        for &a in &cores {
+            for &b in &cores {
+                if a == b || used.contains(&a) || used.contains(&b) {
+                    continue;
+                }
+                let ca = p.coord_of_core(a);
+                let cb = p.coord_of_core(b);
+                if ca.col == cb.col && ca.row.abs_diff(cb.row) == 1 {
+                    // Keep pairs distant from already-used tiles.
+                    let far = used
+                        .iter()
+                        .all(|&u| p.coord_of_core(u).hop_distance(ca) >= 3);
+                    if far {
+                        pairs.push((a, b));
+                        used.extend([a, b]);
+                        break;
+                    }
+                }
+            }
+            if pairs.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(pairs.len(), 2);
+        let mut sim = ThermalSim::new(p.clone(), ThermalParams::default(), 11);
+        let payloads = vec![random_bits(24, 4), random_bits(24, 5)];
+        let channels: Vec<ChannelConfig> = pairs
+            .iter()
+            .map(|&(tx, rx)| ChannelConfig::new(vec![tx], rx, 1.0))
+            .collect();
+        let report = run_multi_channel(&mut sim, &channels, &payloads);
+        assert_eq!(report.channels.len(), 2);
+        assert!((report.aggregate_rate_bps() - 2.0).abs() < 1e-9);
+        assert!(
+            report.aggregate_ber() <= 0.2,
+            "ber {}",
+            report.aggregate_ber()
+        );
+    }
+
+    #[test]
+    fn higher_rate_increases_error() {
+        let p = plan();
+        let (tx, rx) = vertical_pair(&p);
+        let payload = random_bits(48, 6);
+        let mut slow_sim = ThermalSim::new(p.clone(), ThermalParams::default(), 9);
+        let slow = ChannelConfig::new(vec![tx], rx, 1.0).transfer(&mut slow_sim, &payload);
+        let mut fast_sim = ThermalSim::new(p.clone(), ThermalParams::default(), 9);
+        let fast = ChannelConfig::new(vec![tx], rx, 10.0).transfer(&mut fast_sim, &payload);
+        assert!(
+            fast.ber() >= slow.ber(),
+            "fast {} vs slow {}",
+            fast.ber(),
+            slow.ber()
+        );
+        assert!(fast.ber() > 0.05, "10 bps on 1 hop should degrade");
+    }
+}

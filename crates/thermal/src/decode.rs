@@ -1,0 +1,209 @@
+//! Offline decoding of received temperature traces (paper Sec. IV-A).
+//!
+//! The receiver records its core's quantized temperature at the sensor
+//! rate. Decoding happens offline: the decoder scans candidate sampling
+//! offsets, picks the one that correctly decodes the known signature
+//! preamble, and then decodes the payload at that offset.
+//!
+//! Per-bit detection compares the mean temperature of the two half-bit
+//! windows: Manchester guarantees exactly one stress and one idle half per
+//! bit, so `mean(first half) > mean(second half)` decodes a `1`. Slow
+//! thermal drift cancels between adjacent halves.
+
+use crate::encoding::PREAMBLE;
+
+/// Result of a synchronized decode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeResult {
+    /// Sample offset at which the preamble decoded best.
+    pub offset: usize,
+    /// Number of preamble bits decoded correctly at that offset (out of
+    /// [`PREAMBLE`]`.len()`).
+    pub preamble_score: usize,
+    /// The decoded payload bits.
+    pub payload: Vec<bool>,
+}
+
+/// Decodes `n_bits` Manchester bits from `samples` starting at `offset`,
+/// with `samples_per_bit` samples per bit period.
+pub fn decode_at(samples: &[f64], offset: usize, n_bits: usize, samples_per_bit: f64) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(n_bits);
+    for i in 0..n_bits {
+        let start = offset as f64 + i as f64 * samples_per_bit;
+        let mid = start + samples_per_bit / 2.0;
+        let end = start + samples_per_bit;
+        let first = window_mean(samples, start, mid);
+        let second = window_mean(samples, mid, end);
+        bits.push(first > second);
+    }
+    bits
+}
+
+fn window_mean(samples: &[f64], from: f64, to: f64) -> f64 {
+    let a = (from.ceil() as usize).min(samples.len());
+    let b = (to.floor() as usize).min(samples.len());
+    if a >= b {
+        return samples
+            .get(a.min(samples.len().saturating_sub(1)))
+            .copied()
+            .unwrap_or(0.0);
+    }
+    samples[a..b].iter().sum::<f64>() / (b - a) as f64
+}
+
+/// Searches sampling offsets for the one that best decodes the signature
+/// preamble, then decodes `n_payload` payload bits at that offset.
+///
+/// Returns `None` only for traces shorter than one frame.
+pub fn synchronize_and_decode(
+    samples: &[f64],
+    n_payload: usize,
+    samples_per_bit: f64,
+) -> Option<DecodeResult> {
+    let frame_bits = PREAMBLE.len() + n_payload;
+    let needed = (frame_bits as f64 * samples_per_bit).ceil() as usize;
+    if samples.len() < needed {
+        return None;
+    }
+    let max_offset = (samples.len() - needed).min((2.0 * samples_per_bit) as usize);
+    // Alternating Manchester preambles are self-similar under a half-bit
+    // shift, so preamble correctness alone can tie between the true offset
+    // and a straddled one. The true offset aligns the half-bit windows with
+    // the thermal plateaus and therefore maximizes the decision *margin*;
+    // use it as the tie-breaker.
+    let mut best: Option<(usize, f64, usize)> = None; // (score, margin, offset)
+    for offset in 0..=max_offset {
+        let got = decode_at(samples, offset, PREAMBLE.len(), samples_per_bit);
+        let score = got
+            .iter()
+            .zip(PREAMBLE.iter())
+            .filter(|(a, b)| a == b)
+            .count();
+        let mut margin = 0.0;
+        for i in 0..PREAMBLE.len() {
+            let start = offset as f64 + i as f64 * samples_per_bit;
+            let mid = start + samples_per_bit / 2.0;
+            let end = start + samples_per_bit;
+            margin += (window_mean(samples, start, mid) - window_mean(samples, mid, end)).abs();
+        }
+        let better = match best {
+            None => true,
+            Some((s, m, _)) => score > s || (score == s && margin > m),
+        };
+        if better {
+            best = Some((score, margin, offset));
+        }
+    }
+    let (preamble_score, _, offset) = best?;
+    let payload_offset = offset as f64 + PREAMBLE.len() as f64 * samples_per_bit;
+    let payload = decode_at(
+        samples,
+        payload_offset.round() as usize,
+        n_payload,
+        samples_per_bit,
+    );
+    Some(DecodeResult {
+        offset,
+        preamble_score,
+        payload,
+    })
+}
+
+/// Bit error count between two equal-length bit strings.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn bit_errors(sent: &[bool], received: &[bool]) -> usize {
+    assert_eq!(sent.len(), received.len(), "bitstring length mismatch");
+    sent.iter().zip(received).filter(|(a, b)| a != b).count()
+}
+
+/// Bit error rate between two equal-length bit strings.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn ber(sent: &[bool], received: &[bool]) -> f64 {
+    if sent.is_empty() {
+        return 0.0;
+    }
+    bit_errors(sent, received) as f64 / sent.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::frame;
+
+    /// Builds an ideal sample trace for a framed bit string: `spb` samples
+    /// per bit, high/low half-bit plateaus.
+    fn ideal_trace(bits: &[bool], spb: usize, lead: usize) -> Vec<f64> {
+        let mut out = vec![30.0; lead];
+        for &b in bits {
+            let (first, second) = if b { (40.0, 30.0) } else { (30.0, 40.0) };
+            out.extend(std::iter::repeat_n(first, spb / 2));
+            out.extend(std::iter::repeat_n(second, spb - spb / 2));
+        }
+        out.extend(std::iter::repeat_n(30.0, spb));
+        out
+    }
+
+    #[test]
+    fn decodes_ideal_trace_at_zero_offset() {
+        let payload = vec![true, false, false, true, true, false];
+        let framed = frame(&payload);
+        let trace = ideal_trace(&framed, 20, 0);
+        let r = synchronize_and_decode(&trace, payload.len(), 20.0).unwrap();
+        assert_eq!(r.preamble_score, PREAMBLE.len());
+        assert_eq!(r.payload, payload);
+    }
+
+    #[test]
+    fn synchronizer_finds_nonzero_offset() {
+        let payload = vec![false, true, true, false];
+        let framed = frame(&payload);
+        for lead in [3usize, 9, 17] {
+            let trace = ideal_trace(&framed, 20, lead);
+            let r = synchronize_and_decode(&trace, payload.len(), 20.0).unwrap();
+            assert_eq!(r.payload, payload, "lead {lead}");
+            // Plateau traces decode perfectly at any offset within half a
+            // half-bit of the true lead; the chosen one must lie in that
+            // basin.
+            assert!(
+                r.offset.abs_diff(lead) <= 5,
+                "offset {} vs lead {lead}",
+                r.offset
+            );
+        }
+    }
+
+    #[test]
+    fn short_trace_returns_none() {
+        let trace = vec![30.0; 10];
+        assert!(synchronize_and_decode(&trace, 100, 20.0).is_none());
+    }
+
+    #[test]
+    fn ber_counts_mismatches() {
+        let a = [true, false, true, true];
+        let b = [true, true, true, false];
+        assert_eq!(bit_errors(&a, &b), 2);
+        assert!((ber(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(ber(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn decode_survives_slow_drift() {
+        let payload = vec![true, false, true, false, false, true];
+        let framed = frame(&payload);
+        let mut trace = ideal_trace(&framed, 20, 5);
+        // Superimpose a strong linear drift: +5 degrees over the trace.
+        let n = trace.len() as f64;
+        for (i, v) in trace.iter_mut().enumerate() {
+            *v += 5.0 * i as f64 / n;
+        }
+        let r = synchronize_and_decode(&trace, payload.len(), 20.0).unwrap();
+        assert_eq!(r.payload, payload);
+    }
+}

@@ -1,0 +1,114 @@
+//! Manchester encoding of the covert bitstream (paper Sec. IV-A).
+//!
+//! Each bit occupies one bit period split into two half-bit slots: a `1` is
+//! transmitted as *stress-then-idle*, a `0` as *idle-then-stress*. Every bit
+//! therefore carries one thermal edge and the duty cycle is 50% regardless
+//! of payload, which suppresses the thermal bias a monotonic pattern would
+//! accumulate (the reason [Bartolini et al.] suggested it and this paper
+//! adopts it).
+
+use crate::power::ActivityLevel;
+
+/// The signature bit sequence prepended to every transmission; the decoder
+/// searches the sampling offset that decodes it correctly (Sec. IV-A).
+pub const PREAMBLE: [bool; 8] = [true, false, true, false, true, false, true, true];
+
+/// Expands `bits` into per-half-bit activity levels (2 entries per bit).
+pub fn manchester(bits: &[bool]) -> Vec<ActivityLevel> {
+    let mut out = Vec::with_capacity(bits.len() * 2);
+    for &b in bits {
+        if b {
+            out.push(ActivityLevel::Stress);
+            out.push(ActivityLevel::Idle);
+        } else {
+            out.push(ActivityLevel::Idle);
+            out.push(ActivityLevel::Stress);
+        }
+    }
+    out
+}
+
+/// Non-return-to-zero encoding (1 entry per bit, full-period level) — the
+/// baseline the encoding ablation compares Manchester against.
+pub fn nrz(bits: &[bool]) -> Vec<ActivityLevel> {
+    bits.iter()
+        .map(|&b| {
+            if b {
+                ActivityLevel::Stress
+            } else {
+                ActivityLevel::Idle
+            }
+        })
+        .collect()
+}
+
+/// Prepends the preamble to a payload.
+pub fn frame(payload: &[bool]) -> Vec<bool> {
+    let mut framed = Vec::with_capacity(PREAMBLE.len() + payload.len());
+    framed.extend_from_slice(&PREAMBLE);
+    framed.extend_from_slice(payload);
+    framed
+}
+
+/// Packs bytes into a bit vector, MSB first (convenience for sending real
+/// payloads over the channel).
+pub fn bytes_to_bits(data: &[u8]) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(data.len() * 8);
+    for &byte in data {
+        for i in (0..8).rev() {
+            bits.push((byte >> i) & 1 == 1);
+        }
+    }
+    bits
+}
+
+/// Reassembles bits (MSB first) into bytes; trailing bits that do not fill
+/// a byte are dropped.
+pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
+    bits.chunks_exact(8)
+        .map(|chunk| chunk.iter().fold(0u8, |acc, &b| (acc << 1) | b as u8))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::ActivityLevel::{Idle, Stress};
+
+    #[test]
+    fn manchester_shape() {
+        assert_eq!(manchester(&[true]), vec![Stress, Idle]);
+        assert_eq!(manchester(&[false]), vec![Idle, Stress]);
+        assert_eq!(manchester(&[true, false]).len(), 4);
+    }
+
+    #[test]
+    fn manchester_has_balanced_duty_cycle() {
+        let bits = vec![true; 64];
+        let levels = manchester(&bits);
+        let stress = levels.iter().filter(|&&l| l == Stress).count();
+        assert_eq!(stress, 64);
+        assert_eq!(levels.len(), 128);
+    }
+
+    #[test]
+    fn nrz_is_unbalanced_for_monotone_input() {
+        let levels = nrz(&[true; 16]);
+        assert!(levels.iter().all(|&l| l == Stress));
+    }
+
+    #[test]
+    fn frame_prepends_preamble() {
+        let f = frame(&[true, true]);
+        assert_eq!(&f[..8], &PREAMBLE);
+        assert_eq!(&f[8..], &[true, true]);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let data = [0xA5u8, 0x3C, 0xFF, 0x00];
+        let bits = bytes_to_bits(&data);
+        assert_eq!(bits.len(), 32);
+        assert_eq!(bits_to_bytes(&bits), data);
+    }
+}

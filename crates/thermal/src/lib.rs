@@ -1,0 +1,61 @@
+//! # coremap-thermal
+//!
+//! Die-level thermal simulation and the inter-core **thermal covert
+//! channel** of *"Know Your Neighbor"* (DATE 2022, Sec. IV–V).
+//!
+//! The physical substrate is a lumped-RC grid ([`RcGrid`]): one thermal node
+//! per core tile, coupled laterally to its mesh neighbours — more strongly
+//! in the vertical direction, because a Xeon core tile is a horizontally
+//! long rectangle and vertical neighbours sit closer (Sec. V-A) — and
+//! vertically through the package to a shared heatsink node. This is the
+//! standard architectural thermal abstraction (HotSpot-style) and stands in
+//! for the physical silicon the paper measures.
+//!
+//! On top of it:
+//!
+//! * [`power`] — stress/idle activity power, plus a background noise
+//!   process modelling co-tenant load on a cloud host;
+//! * [`sensor`] — the per-core temperature sensor: 1 °C quantization,
+//!   bounded sampling rate, optional resolution-reduction defense;
+//! * [`encoding`] / [`decode`] — Manchester bit encoding with a signature
+//!   preamble and the offset-searching offline decoder (Sec. IV-A);
+//! * [`ChannelConfig`] — the attack: senders modulate load, a receiver
+//!   reads *its own core's* sensor, bits cross the die as heat. Supports
+//!   multiple synchronized senders (Sec. V-B) and multiple concurrent
+//!   channels (Sec. V-C).
+//!
+//! ```
+//! use coremap_mesh::{DieTemplate, FloorplanBuilder, OsCoreId};
+//! use coremap_thermal::{ChannelConfig, ThermalParams, ThermalSim};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc).build()?;
+//! // cpu14 sits at (2,0) and cpu7 at (3,0) on the full die: a vertically
+//! // adjacent pair (the real attacker reads this off a recovered CoreMap).
+//! let (sender, receiver) = (OsCoreId::new(14), OsCoreId::new(7));
+//! assert_eq!(plan.coord_of_core(sender).hop_distance(plan.coord_of_core(receiver)), 1);
+//! let mut sim = ThermalSim::new(plan, ThermalParams::default(), 1);
+//! let cfg = ChannelConfig::new(vec![sender], receiver, 2.0);
+//! let report = cfg.transfer(&mut sim, &[true, false, true, true, false, true, false, false]);
+//! assert!(report.ber() < 0.25);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+pub mod decode;
+pub mod encoding;
+pub mod fec;
+mod model;
+mod params;
+pub mod power;
+pub mod sensor;
+mod sim;
+
+pub use channel::{run_multi_channel, ChannelConfig, MultiChannelReport, TransferReport};
+pub use model::RcGrid;
+pub use params::ThermalParams;
+pub use sim::ThermalSim;

@@ -1,0 +1,245 @@
+//! The lumped-RC thermal grid.
+
+use coremap_mesh::{Direction, GridDim, TileCoord};
+
+use crate::ThermalParams;
+
+/// One thermal node per grid position plus a shared heatsink node.
+///
+/// Integration is explicit (forward Euler); [`ThermalParams::is_stable`] is
+/// asserted at construction.
+#[derive(Debug, Clone)]
+pub struct RcGrid {
+    dim: GridDim,
+    params: ThermalParams,
+    temps: Vec<f64>,
+    heatsink: f64,
+}
+
+impl RcGrid {
+    /// Creates a grid at thermal equilibrium with all tiles idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters violate the stability bound.
+    pub fn new(dim: GridDim, params: ThermalParams) -> Self {
+        assert!(
+            params.is_stable(),
+            "dt {} too large for stability bound {}",
+            params.dt,
+            params.tile_capacitance / params.max_tile_conductance()
+        );
+        // Analytic idle equilibrium: heatsink absorbs all idle power.
+        let total_idle = params.idle_power * dim.tile_count() as f64;
+        let heatsink = params.ambient + total_idle / params.heatsink_to_ambient;
+        let tile = heatsink + params.idle_power / params.sink_conductance;
+        Self {
+            dim,
+            params,
+            temps: vec![tile; dim.tile_count()],
+            heatsink,
+        }
+    }
+
+    /// Grid dimensions.
+    pub fn dim(&self) -> GridDim {
+        self.dim
+    }
+
+    /// Parameters in use.
+    pub fn params(&self) -> &ThermalParams {
+        &self.params
+    }
+
+    /// Temperature of a tile (°C, unquantized model truth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` is outside the grid.
+    pub fn temp(&self, coord: TileCoord) -> f64 {
+        self.temps[self.dim.linear_index(coord)]
+    }
+
+    /// Heatsink temperature (°C).
+    pub fn heatsink_temp(&self) -> f64 {
+        self.heatsink
+    }
+
+    /// Advances the model by one `dt` with the given per-tile power input
+    /// (W, row-major, length = tile count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers` has the wrong length.
+    pub fn step(&mut self, powers: &[f64]) {
+        assert_eq!(powers.len(), self.temps.len(), "power vector length");
+        let p = &self.params;
+        let mut next = self.temps.clone();
+        let mut sink_flux = 0.0;
+        for row in 0..self.dim.rows {
+            for col in 0..self.dim.cols {
+                let coord = TileCoord::new(row, col);
+                let i = self.dim.linear_index(coord);
+                let t = self.temps[i];
+                let mut flux = powers[i] + p.sink_conductance * (self.heatsink - t);
+                sink_flux += p.sink_conductance * (t - self.heatsink);
+                for (dir, n) in coord.neighbors(self.dim) {
+                    let g = if dir.is_vertical() {
+                        p.vertical_coupling
+                    } else {
+                        p.horizontal_coupling
+                    };
+                    flux += g * (self.temps[self.dim.linear_index(n)] - t);
+                }
+                next[i] = t + p.dt * flux / p.tile_capacitance;
+            }
+        }
+        self.heatsink += p.dt * (sink_flux + p.heatsink_to_ambient * (p.ambient - self.heatsink))
+            / p.heatsink_capacitance;
+        self.temps = next;
+    }
+
+    /// Runs `n` steps with constant power input.
+    pub fn run(&mut self, powers: &[f64], n: usize) {
+        for _ in 0..n {
+            self.step(powers);
+        }
+    }
+
+    /// Convenience: coupling conductance along `dir`.
+    pub fn coupling(&self, dir: Direction) -> f64 {
+        if dir.is_vertical() {
+            self.params.vertical_coupling
+        } else {
+            self.params.horizontal_coupling
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idle_powers(dim: GridDim, p: &ThermalParams) -> Vec<f64> {
+        vec![p.idle_power; dim.tile_count()]
+    }
+
+    #[test]
+    fn idle_equilibrium_is_stationary() {
+        let dim = GridDim::new(5, 6);
+        let p = ThermalParams::default();
+        let mut g = RcGrid::new(dim, p);
+        let before = g.temp(TileCoord::new(2, 2));
+        g.run(&idle_powers(dim, &p), 200);
+        let after = g.temp(TileCoord::new(2, 2));
+        assert!((before - after).abs() < 0.05, "{before} vs {after}");
+    }
+
+    /// Peak-to-peak temperature swing at `probe` while `hot` toggles
+    /// between stress and idle at `hz` — the quantity the covert channel
+    /// actually modulates (the slow heatsink common mode does not follow
+    /// the bit pattern and cancels out of this measurement).
+    fn ac_swing(hz: f64, hot: TileCoord, probe: TileCoord) -> f64 {
+        let dim = GridDim::new(5, 6);
+        let p = ThermalParams::default();
+        let mut g = RcGrid::new(dim, p);
+        let steps_per_half = ((0.5 / hz) / p.dt).round() as usize;
+        let (mut lo, mut hi) = (f64::MAX, f64::MIN);
+        let cycles = 24;
+        for c in 0..cycles {
+            for half in 0..2 {
+                let mut powers = idle_powers(dim, &p);
+                if half == 0 {
+                    powers[dim.linear_index(hot)] = p.stress_power;
+                }
+                for _ in 0..steps_per_half {
+                    g.step(&powers);
+                    if c >= cycles - 4 {
+                        lo = lo.min(g.temp(probe));
+                        hi = hi.max(g.temp(probe));
+                    }
+                }
+            }
+        }
+        hi - lo
+    }
+
+    #[test]
+    fn modulated_heat_decays_with_distance_paper_fig6_shape() {
+        let hot = TileCoord::new(2, 2);
+        let dt_self = ac_swing(1.0, hot, hot);
+        let dt_v1 = ac_swing(1.0, hot, TileCoord::new(1, 2));
+        let dt_v2 = ac_swing(1.0, hot, TileCoord::new(0, 2));
+        let dt_h1 = ac_swing(1.0, hot, TileCoord::new(2, 1));
+        // Source swings on the order of the paper's 34->48C trace.
+        assert!(dt_self > 8.0 && dt_self < 20.0, "self swing {dt_self}");
+        // 1-hop vertical clears the 1C sensor quantization comfortably.
+        assert!(dt_v1 > 1.5 && dt_v1 < 5.0, "vertical 1-hop {dt_v1}");
+        // Horizontal neighbours couple more weakly (tile aspect ratio,
+        // paper Sec. V-A).
+        assert!(dt_h1 < dt_v1, "horizontal {dt_h1} vs vertical {dt_v1}");
+        // 2-hop drops near/below the quantization floor (unstable decode,
+        // paper Fig. 6/7) but is still physically present.
+        assert!(dt_v2 < dt_v1 / 2.0, "2-hop {dt_v2} vs 1-hop {dt_v1}");
+        assert!(dt_v2 > 0.05, "2-hop nonzero: {dt_v2}");
+    }
+
+    #[test]
+    fn higher_bit_rates_attenuate_the_received_swing() {
+        let hot = TileCoord::new(2, 2);
+        let probe = TileCoord::new(1, 2);
+        let slow = ac_swing(1.0, hot, probe);
+        let fast = ac_swing(4.0, hot, probe);
+        assert!(fast < slow, "low-pass behaviour: {fast} vs {slow}");
+    }
+
+    #[test]
+    fn energy_flows_toward_ambient() {
+        let dim = GridDim::new(3, 3);
+        let p = ThermalParams::default();
+        let mut g = RcGrid::new(dim, p);
+        // Crank all tiles, then idle: temperatures must decay toward the
+        // idle equilibrium.
+        let hot = vec![p.stress_power; dim.tile_count()];
+        g.run(&hot, 2000);
+        let peak = g.temp(TileCoord::new(1, 1));
+        let idle = vec![p.idle_power; dim.tile_count()];
+        g.run(&idle, 20_000);
+        let settled = g.temp(TileCoord::new(1, 1));
+        assert!(settled < peak - 5.0);
+        assert!(settled > p.ambient);
+    }
+
+    #[test]
+    fn tile_time_constant_is_subsecond() {
+        // The channel's bandwidth depends on the tile time constant; verify
+        // a step input reaches ~63% of its swing within ~C/G seconds.
+        let dim = GridDim::new(5, 6);
+        let p = ThermalParams::default();
+        let mut g = RcGrid::new(dim, p);
+        let mut powers = vec![p.idle_power; dim.tile_count()];
+        let hot = TileCoord::new(2, 3);
+        powers[dim.linear_index(hot)] = p.stress_power;
+        let t0 = g.temp(hot);
+        // Measure the (near-)asymptotic swing.
+        let mut probe = g.clone();
+        probe.run(&powers, 6000);
+        let swing = probe.temp(hot) - t0;
+        let tau = p.tile_capacitance / p.max_tile_conductance();
+        let steps = (tau / p.dt).ceil() as usize;
+        g.run(&powers, steps);
+        let frac = (g.temp(hot) - t0) / swing;
+        assert!(frac > 0.35 && frac < 0.95, "rise fraction {frac}");
+        assert!(tau < 0.2, "time constant {tau} too slow for multi-bps");
+    }
+
+    #[test]
+    #[should_panic(expected = "stability")]
+    fn unstable_dt_rejected() {
+        let p = ThermalParams {
+            dt: 10.0,
+            ..ThermalParams::default()
+        };
+        let _ = RcGrid::new(GridDim::new(2, 2), p);
+    }
+}

@@ -1,0 +1,137 @@
+//! Thermal model parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Lumped-RC parameters of the die/package model.
+///
+/// Defaults are tuned so the simulated behaviour reproduces the *shape* of
+/// the paper's measurements (Fig. 6): a stressed core swings ~12–14 °C, a
+/// 1-hop vertical neighbour sees ~2–3 °C, a 1-hop horizontal neighbour
+/// roughly half of that (tile aspect ratio), and 2-hop neighbours hover
+/// near the 1 °C quantization floor.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ThermalParams {
+    /// Heat capacity of one tile node (J/K).
+    pub tile_capacitance: f64,
+    /// Lateral conductance to each *vertical* mesh neighbour (W/K). Larger
+    /// than horizontal: vertical neighbours are physically closer.
+    pub vertical_coupling: f64,
+    /// Lateral conductance to each *horizontal* mesh neighbour (W/K).
+    pub horizontal_coupling: f64,
+    /// Conductance from a tile through the package to the heatsink (W/K).
+    pub sink_conductance: f64,
+    /// Heat capacity of the shared heatsink node (J/K) — the source of the
+    /// slow thermal drift that Manchester coding rejects.
+    pub heatsink_capacitance: f64,
+    /// Conductance from the heatsink to ambient (W/K).
+    pub heatsink_to_ambient: f64,
+    /// Ambient temperature (°C).
+    pub ambient: f64,
+    /// Per-tile idle power (W).
+    pub idle_power: f64,
+    /// Per-tile power under the stress workload (W); the paper found
+    /// repeated branch misses heat the core the most (Sec. IV-A).
+    pub stress_power: f64,
+    /// Simulation time step (s). Must keep the explicit integration stable:
+    /// `dt < C / G_total`.
+    pub dt: f64,
+}
+
+impl Default for ThermalParams {
+    fn default() -> Self {
+        Self {
+            tile_capacitance: 0.10,
+            vertical_coupling: 0.45,
+            horizontal_coupling: 0.20,
+            sink_conductance: 1.20,
+            heatsink_capacitance: 60.0,
+            heatsink_to_ambient: 6.0,
+            ambient: 25.0,
+            idle_power: 2.0,
+            stress_power: 28.0,
+            dt: 0.005,
+        }
+    }
+}
+
+impl ThermalParams {
+    /// The default air-cooled server configuration (tower/1U heatsink with
+    /// forced airflow) — the environment the channel numbers are tuned on.
+    pub fn air_cooled() -> Self {
+        Self::default()
+    }
+
+    /// A liquid-cooled package: a much stronger tile-to-coldplate path
+    /// steals heat before it spreads laterally, shrinking the neighbour
+    /// swing the covert channel rides on.
+    pub fn liquid_cooled() -> Self {
+        Self {
+            sink_conductance: 3.0,
+            heatsink_to_ambient: 25.0,
+            heatsink_capacitance: 20.0,
+            dt: 0.002,
+            ..Self::default()
+        }
+    }
+
+    /// A passively-cooled (fanless edge/embedded) package: weak path to
+    /// ambient, hotter baseline, *stronger* lateral coupling signal.
+    pub fn passive() -> Self {
+        Self {
+            sink_conductance: 0.7,
+            heatsink_to_ambient: 2.5,
+            ..Self::default()
+        }
+    }
+
+    /// Maximum total conductance seen by an interior tile.
+    pub fn max_tile_conductance(&self) -> f64 {
+        self.sink_conductance + 2.0 * self.vertical_coupling + 2.0 * self.horizontal_coupling
+    }
+
+    /// Whether the explicit-Euler step is stable for these parameters.
+    pub fn is_stable(&self) -> bool {
+        self.dt < self.tile_capacitance / self.max_tile_conductance()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_stable() {
+        assert!(ThermalParams::default().is_stable());
+    }
+
+    #[test]
+    fn vertical_coupling_exceeds_horizontal() {
+        let p = ThermalParams::default();
+        assert!(p.vertical_coupling > p.horizontal_coupling);
+    }
+
+    #[test]
+    fn stress_exceeds_idle_power() {
+        let p = ThermalParams::default();
+        assert!(p.stress_power > p.idle_power);
+    }
+
+    #[test]
+    fn cooling_presets_are_stable_and_ordered() {
+        for p in [
+            ThermalParams::air_cooled(),
+            ThermalParams::liquid_cooled(),
+            ThermalParams::passive(),
+        ] {
+            assert!(p.is_stable());
+        }
+        assert!(
+            ThermalParams::liquid_cooled().sink_conductance
+                > ThermalParams::air_cooled().sink_conductance
+        );
+        assert!(
+            ThermalParams::passive().sink_conductance
+                < ThermalParams::air_cooled().sink_conductance
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Activity-to-power mapping and background thermal noise.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::ThermalParams;
+
+/// Workload level of a core, as controllable from user space (the paper
+/// drives `stress-ng` with the branch-miss stressor, Sec. IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ActivityLevel {
+    /// Core idle / halted.
+    #[default]
+    Idle,
+    /// Branch-miss stress workload (maximum sustained heat; shorthand for
+    /// `Workload(StressorKind::BranchMiss)`).
+    Stress,
+    /// A specific stress workload.
+    Workload(StressorKind),
+}
+
+impl ActivityLevel {
+    /// The tile power this activity draws.
+    pub fn power(self, params: &ThermalParams) -> f64 {
+        match self {
+            ActivityLevel::Idle => params.idle_power,
+            ActivityLevel::Stress => params.stress_power,
+            ActivityLevel::Workload(kind) => kind.power(params),
+        }
+    }
+}
+
+/// A user-level stress workload, as selectable through `stress-ng`. The
+/// paper tried the available stressors and "found the repeated branch
+/// misses cause the most heat" (Sec. IV-A); the relative power levels here
+/// reflect that finding (pipeline flushes burn peak dynamic power, ALU
+/// spins are throttle-friendly, memory streaming stalls the core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StressorKind {
+    /// `stress-ng --branch`: repeated mispredicted branches.
+    BranchMiss,
+    /// `stress-ng --cpu` style integer ALU spinning.
+    IntAlu,
+    /// Floating-point heavy loop.
+    FpVector,
+    /// Memory streaming (core mostly stalled on DRAM).
+    MemoryStream,
+}
+
+impl StressorKind {
+    /// All stressors, hottest first.
+    pub const ALL: [StressorKind; 4] = [
+        StressorKind::BranchMiss,
+        StressorKind::IntAlu,
+        StressorKind::FpVector,
+        StressorKind::MemoryStream,
+    ];
+
+    /// Fraction of the maximum stress power this workload sustains.
+    pub fn power_fraction(self) -> f64 {
+        match self {
+            StressorKind::BranchMiss => 1.0,
+            StressorKind::FpVector => 0.85,
+            StressorKind::IntAlu => 0.7,
+            StressorKind::MemoryStream => 0.45,
+        }
+    }
+
+    /// The tile power this stressor draws.
+    pub fn power(self, params: &ThermalParams) -> f64 {
+        params.idle_power + (params.stress_power - params.idle_power) * self.power_fraction()
+    }
+
+    /// Short `stress-ng`-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StressorKind::BranchMiss => "branch",
+            StressorKind::IntAlu => "cpu",
+            StressorKind::FpVector => "matrixprod",
+            StressorKind::MemoryStream => "stream",
+        }
+    }
+}
+
+/// Background power noise on a cloud host: small per-tile AR(1) jitter plus
+/// occasional multi-second co-tenant bursts on random tiles.
+#[derive(Debug, Clone)]
+pub struct ThermalNoise {
+    /// Standard deviation of the per-step white component (W).
+    pub sigma: f64,
+    /// AR(1) persistence of the jitter (0 = white, close to 1 = slow).
+    pub persistence: f64,
+    /// Expected bursts per simulated second per tile.
+    pub burst_rate: f64,
+    /// Extra power while a burst is active (W).
+    pub burst_power: f64,
+    /// Mean burst duration (s).
+    pub burst_duration: f64,
+    state: Vec<f64>,
+    burst_left: Vec<f64>,
+}
+
+impl ThermalNoise {
+    /// No noise (controlled lab environment, as in prior work [Bartolini et
+    /// al. EuroSys'16] — the paper stresses its own results come from a
+    /// *cloud* environment instead).
+    pub fn none(tiles: usize) -> Self {
+        Self {
+            sigma: 0.0,
+            persistence: 0.0,
+            burst_rate: 0.0,
+            burst_power: 0.0,
+            burst_duration: 0.0,
+            state: vec![0.0; tiles],
+            burst_left: vec![0.0; tiles],
+        }
+    }
+
+    /// Typical cloud-host background: fraction-of-a-watt jitter and
+    /// occasional co-tenant bursts.
+    pub fn cloud(tiles: usize) -> Self {
+        Self {
+            sigma: 0.08,
+            persistence: 0.95,
+            burst_rate: 0.02,
+            burst_power: 3.0,
+            burst_duration: 1.5,
+            state: vec![0.0; tiles],
+            burst_left: vec![0.0; tiles],
+        }
+    }
+
+    /// Samples the additive power for every tile for one step of `dt`
+    /// seconds.
+    pub fn sample(&mut self, rng: &mut ChaCha8Rng, dt: f64) -> Vec<f64> {
+        let n = self.state.len();
+        let mut out = vec![0.0; n];
+        #[allow(clippy::needless_range_loop)] // indexes state, burst_left and out
+        for i in 0..n {
+            if self.sigma > 0.0 {
+                let white: f64 = rng.gen_range(-1.0..1.0) * self.sigma;
+                self.state[i] = self.persistence * self.state[i] + white;
+                out[i] += self.state[i].abs();
+            }
+            if self.burst_rate > 0.0 {
+                if self.burst_left[i] > 0.0 {
+                    out[i] += self.burst_power;
+                    self.burst_left[i] -= dt;
+                } else if rng.gen::<f64>() < self.burst_rate * dt {
+                    self.burst_left[i] = self.burst_duration * (0.5 + rng.gen::<f64>());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn activity_powers() {
+        let p = ThermalParams::default();
+        assert_eq!(ActivityLevel::Idle.power(&p), p.idle_power);
+        assert_eq!(ActivityLevel::Stress.power(&p), p.stress_power);
+    }
+
+    #[test]
+    fn branch_misses_are_the_hottest_stressor() {
+        let p = ThermalParams::default();
+        let branch = StressorKind::BranchMiss.power(&p);
+        for s in StressorKind::ALL {
+            assert!(s.power(&p) <= branch, "{s:?} hotter than branch misses");
+            assert!(s.power(&p) > p.idle_power, "{s:?} must heat the core");
+        }
+        assert_eq!(branch, p.stress_power);
+    }
+
+    #[test]
+    fn none_noise_is_zero() {
+        let mut n = ThermalNoise::none(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(n.sample(&mut rng, 0.005), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn cloud_noise_is_bounded_and_nonzero() {
+        let mut n = ThermalNoise::cloud(9);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut any = 0.0f64;
+        for _ in 0..2000 {
+            let s = n.sample(&mut rng, 0.005);
+            for v in s {
+                assert!((0.0..10.0).contains(&v));
+                any += v;
+            }
+        }
+        assert!(any > 0.0);
+    }
+}

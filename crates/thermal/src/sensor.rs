@@ -1,0 +1,94 @@
+//! Core temperature sensors.
+//!
+//! Xeon cores expose their temperature at 1 °C granularity; the attacker is
+//! conservatively assumed to read only the sensor of the core running its
+//! own thread (paper Sec. IV). Reducing resolution or rate is the defense
+//! discussed there, so both are parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// A quantizing, noisy temperature sensor.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TempSensor {
+    /// Quantization step (°C); real Xeon sensors report at 1 °C.
+    pub resolution: f64,
+    /// Gaussian-ish measurement noise applied before quantization (°C).
+    pub noise: f64,
+    /// Sampling rate available to user space (Hz).
+    pub sample_rate: f64,
+}
+
+impl Default for TempSensor {
+    fn default() -> Self {
+        Self {
+            resolution: 1.0,
+            noise: 0.25,
+            sample_rate: 50.0,
+        }
+    }
+}
+
+impl TempSensor {
+    /// A degraded sensor (defense): coarser steps and/or slower sampling.
+    pub fn degraded(resolution: f64, sample_rate: f64) -> Self {
+        Self {
+            resolution,
+            sample_rate,
+            ..Self::default()
+        }
+    }
+
+    /// Quantizes a model-truth temperature into a reading. `jitter` is a
+    /// uniform sample in `[-1, 1]` supplied by the caller's RNG.
+    pub fn read(&self, truth: f64, jitter: f64) -> f64 {
+        let noisy = truth + jitter * self.noise;
+        if self.resolution <= 0.0 {
+            return noisy;
+        }
+        (noisy / self.resolution).floor() * self.resolution
+    }
+
+    /// Seconds between two consecutive samples.
+    pub fn sample_period(&self) -> f64 {
+        1.0 / self.sample_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantizes_to_resolution() {
+        let s = TempSensor {
+            resolution: 1.0,
+            noise: 0.0,
+            sample_rate: 50.0,
+        };
+        assert_eq!(s.read(36.7, 0.0), 36.0);
+        assert_eq!(s.read(36.99, 0.0), 36.0);
+        assert_eq!(s.read(37.01, 0.0), 37.0);
+    }
+
+    #[test]
+    fn coarse_resolution_hides_small_swings() {
+        let s = TempSensor::degraded(4.0, 50.0);
+        assert_eq!(s.read(36.5, 0.0), s.read(38.5, 0.0));
+    }
+
+    #[test]
+    fn zero_resolution_passes_through() {
+        let s = TempSensor {
+            resolution: 0.0,
+            noise: 0.0,
+            sample_rate: 10.0,
+        };
+        assert!((s.read(36.54, 0.0) - 36.54).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_period_inverse_of_rate() {
+        let s = TempSensor::default();
+        assert!((s.sample_period() - 0.02).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,239 @@
+//! Machine-level thermal simulation: floorplan-aware activity, noise and
+//! sensor sampling.
+
+use coremap_mesh::{Floorplan, OsCoreId, TileCoord};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::power::{ActivityLevel, ThermalNoise};
+use crate::sensor::TempSensor;
+use crate::{RcGrid, ThermalParams};
+
+/// Thermal simulation of one CPU instance.
+///
+/// The simulation places heat according to the *ground-truth* floorplan —
+/// physics does not care about ID obfuscation. The attacker's code, by
+/// contrast, chooses sender/receiver cores using only a recovered
+/// [`CoreMap`](coremap_core::CoreMap) and reads temperatures through
+/// [`sample`](Self::sample), which models the user-level sensor interface.
+#[derive(Debug, Clone)]
+pub struct ThermalSim {
+    plan: Floorplan,
+    grid: RcGrid,
+    noise: ThermalNoise,
+    sensor: TempSensor,
+    rng: ChaCha8Rng,
+    activities: Vec<ActivityLevel>,
+    time: f64,
+}
+
+impl ThermalSim {
+    /// Creates a simulation at idle equilibrium.
+    pub fn new(plan: Floorplan, params: ThermalParams, seed: u64) -> Self {
+        let tiles = plan.dim().tile_count();
+        Self {
+            grid: RcGrid::new(plan.dim(), params),
+            noise: ThermalNoise::none(tiles),
+            sensor: TempSensor::default(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            activities: vec![ActivityLevel::Idle; plan.core_count()],
+            time: 0.0,
+            plan,
+        }
+    }
+
+    /// Installs a background noise process.
+    pub fn with_noise(mut self, noise: ThermalNoise) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Installs a non-default sensor (e.g. a degraded defensive sensor).
+    pub fn with_sensor(mut self, sensor: TempSensor) -> Self {
+        self.sensor = sensor;
+        self
+    }
+
+    /// The sensor configuration.
+    pub fn sensor(&self) -> TempSensor {
+        self.sensor
+    }
+
+    /// Simulation time step (s).
+    pub fn dt(&self) -> f64 {
+        self.grid.params().dt
+    }
+
+    /// Elapsed simulated time (s).
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The floorplan (ground truth; used by physics and by verification).
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.plan
+    }
+
+    /// Sets the workload of a core (what a user-level attacker thread does
+    /// by spinning or sleeping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is not an enabled core.
+    pub fn set_activity(&mut self, core: OsCoreId, level: ActivityLevel) {
+        self.activities[core.index()] = level;
+    }
+
+    /// Advances the simulation by one time step.
+    pub fn step(&mut self) {
+        let params = *self.grid.params();
+        let dim = self.plan.dim();
+        let mut powers = vec![params.idle_power; dim.tile_count()];
+        for (idx, &act) in self.activities.iter().enumerate() {
+            let coord = self.plan.coord_of_core(OsCoreId::new(idx as u16));
+            powers[dim.linear_index(coord)] = act.power(&params);
+        }
+        for (i, extra) in self
+            .noise
+            .sample(&mut self.rng, params.dt)
+            .into_iter()
+            .enumerate()
+        {
+            powers[i] += extra;
+        }
+        self.grid.step(&powers);
+        self.time += params.dt;
+    }
+
+    /// Advances by `seconds` of simulated time.
+    pub fn advance(&mut self, seconds: f64) {
+        let steps = (seconds / self.dt()).round() as usize;
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    /// Reads the temperature sensor of `core` — quantized and noisy, the
+    /// only thermal observable a user-level attacker has (paper Sec. IV).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is not an enabled core.
+    pub fn sample(&mut self, core: OsCoreId) -> f64 {
+        let coord = self.plan.coord_of_core(core);
+        let truth = self.grid.temp(coord);
+        let jitter = self.rng.gen_range(-1.0..1.0);
+        self.sensor.read(truth, jitter)
+    }
+
+    /// Model-truth temperature of a tile (diagnostics/plots only).
+    pub fn true_temp(&self, coord: TileCoord) -> f64 {
+        self.grid.temp(coord)
+    }
+
+    /// Reads an *external* infrared probe aimed at a die position — the
+    /// paper's note that "an attacker who has physical access to the
+    /// hardware can externally probe the temperature of the desired core
+    /// tiles" (Sec. IV, citing small-object IR pyrometry), which bypasses
+    /// any software sensor defense. Modelled as a fine-grained (0.1 °C)
+    /// reading of any tile, independent of the core sensor configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` is outside the grid.
+    pub fn external_probe(&mut self, coord: TileCoord) -> f64 {
+        let truth = self.grid.temp(coord);
+        let jitter: f64 = self.rng.gen_range(-1.0..1.0);
+        let noisy = truth + jitter * 0.05;
+        (noisy * 10.0).round() / 10.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coremap_mesh::{DieTemplate, FloorplanBuilder};
+
+    fn sim() -> ThermalSim {
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .build()
+            .unwrap();
+        ThermalSim::new(plan, ThermalParams::default(), 42)
+    }
+
+    #[test]
+    fn stress_raises_own_sensor_reading() {
+        let mut s = sim();
+        let core = OsCoreId::new(5);
+        s.advance(2.0);
+        let before = s.sample(core);
+        s.set_activity(core, ActivityLevel::Stress);
+        s.advance(5.0);
+        let after = s.sample(core);
+        assert!(after >= before + 5.0, "{before} -> {after}");
+    }
+
+    #[test]
+    fn heat_propagates_to_vertical_neighbor() {
+        let mut s = sim();
+        let plan = s.floorplan().clone();
+        // Find a vertically adjacent pair of cores.
+        let cores: Vec<OsCoreId> = plan.cores().collect();
+        let (hot, probe) = cores
+            .iter()
+            .flat_map(|&a| cores.iter().map(move |&b| (a, b)))
+            .find(|&(a, b)| {
+                let ca = plan.coord_of_core(a);
+                let cb = plan.coord_of_core(b);
+                ca.col == cb.col && ca.row.abs_diff(cb.row) == 1
+            })
+            .unwrap();
+        s.advance(2.0);
+        let before = s.true_temp(plan.coord_of_core(probe));
+        s.set_activity(hot, ActivityLevel::Stress);
+        s.advance(8.0);
+        let after = s.true_temp(plan.coord_of_core(probe));
+        assert!(after > before + 1.0, "{before} -> {after}");
+    }
+
+    #[test]
+    fn time_advances_by_dt() {
+        let mut s = sim();
+        let dt = s.dt();
+        s.step();
+        s.step();
+        assert!((s.time() - 2.0 * dt).abs() < 1e-12);
+    }
+
+    #[test]
+    fn external_probe_beats_a_degraded_sensor() {
+        use crate::sensor::TempSensor;
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .build()
+            .unwrap();
+        let mut s = ThermalSim::new(plan, ThermalParams::default(), 1)
+            .with_sensor(TempSensor::degraded(8.0, 50.0));
+        let core = OsCoreId::new(3);
+        let coord = s.floorplan().coord_of_core(core);
+        s.set_activity(core, ActivityLevel::Stress);
+        s.advance(4.0);
+        // The crippled software sensor rounds to 8 C; the IR probe resolves
+        // a tenth of a degree of the same physical temperature.
+        let sensor_reading = s.sample(core);
+        let probe_reading = s.external_probe(coord);
+        let truth = s.true_temp(coord);
+        assert_eq!(sensor_reading % 8.0, 0.0);
+        assert!(
+            (probe_reading - truth).abs() < 0.2,
+            "{probe_reading} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn sample_is_quantized() {
+        let mut s = sim();
+        s.advance(0.5);
+        let v = s.sample(OsCoreId::new(0));
+        assert_eq!(v, v.floor());
+    }
+}

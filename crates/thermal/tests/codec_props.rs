@@ -1,0 +1,76 @@
+//! Property tests of the Manchester codec and synchronizing decoder.
+
+use coremap_thermal::decode::{ber, synchronize_and_decode};
+use coremap_thermal::encoding::{bits_to_bytes, bytes_to_bits, frame, manchester};
+use coremap_thermal::power::ActivityLevel;
+use proptest::prelude::*;
+
+/// Builds an ideal plateau trace from half-bit activity levels.
+fn trace_from_levels(levels: &[ActivityLevel], samples_per_half: usize, lead: usize) -> Vec<f64> {
+    let mut out = vec![30.0; lead];
+    for &l in levels {
+        let v = match l {
+            ActivityLevel::Idle => 30.0,
+            _ => 40.0, // any stress workload
+        };
+        out.extend(std::iter::repeat_n(v, samples_per_half));
+    }
+    out.extend(std::iter::repeat_n(30.0, samples_per_half * 2));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ideal_traces_decode_exactly(
+        payload in prop::collection::vec(any::<bool>(), 1..48),
+        lead in 0usize..15,
+        samples_per_half in 4usize..12,
+    ) {
+        let framed = frame(&payload);
+        let levels = manchester(&framed);
+        let trace = trace_from_levels(&levels, samples_per_half, lead);
+        let spb = (samples_per_half * 2) as f64;
+        let r = synchronize_and_decode(&trace, payload.len(), spb).expect("long enough");
+        prop_assert_eq!(&r.payload, &payload);
+        prop_assert_eq!(ber(&payload, &r.payload), 0.0);
+    }
+
+    #[test]
+    fn drift_and_noise_tolerated(
+        payload in prop::collection::vec(any::<bool>(), 8..32),
+        drift in -4.0f64..4.0,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let framed = frame(&payload);
+        let levels = manchester(&framed);
+        let mut trace = trace_from_levels(&levels, 10, 5);
+        let n = trace.len() as f64;
+        for (i, v) in trace.iter_mut().enumerate() {
+            *v += drift * i as f64 / n; // slow ramp
+            *v += rng.gen_range(-0.8..0.8); // sensor noise below half swing
+            *v = v.floor(); // 1-degree quantization
+        }
+        let r = synchronize_and_decode(&trace, payload.len(), 20.0).expect("long enough");
+        // Manchester + offset search must stay essentially error-free at
+        // this SNR (10 samples/half, 10-degree swing, <1 degree noise).
+        prop_assert!(ber(&payload, &r.payload) <= 0.10, "ber {}", ber(&payload, &r.payload));
+    }
+
+    #[test]
+    fn byte_bit_round_trip(data in prop::collection::vec(any::<u8>(), 0..64)) {
+        let bits = bytes_to_bits(&data);
+        prop_assert_eq!(bits.len(), data.len() * 8);
+        prop_assert_eq!(bits_to_bytes(&bits), data);
+    }
+
+    #[test]
+    fn manchester_is_always_balanced(payload in prop::collection::vec(any::<bool>(), 0..256)) {
+        let levels = manchester(&payload);
+        let stress = levels.iter().filter(|&&l| l == ActivityLevel::Stress).count();
+        prop_assert_eq!(stress * 2, levels.len());
+    }
+}

@@ -1,0 +1,93 @@
+//! Physical addresses and cache line addresses.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Log2 of the cache line size (64 bytes).
+pub const LINE_SHIFT: u32 = 6;
+
+/// A physical memory address.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Wraps a raw physical address.
+    pub const fn new(addr: u64) -> Self {
+        Self(addr)
+    }
+
+    /// Raw address value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line containing this address.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PA:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        Self::new(v)
+    }
+}
+
+/// A cache-line-granular address (physical address >> 6).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Wraps a raw line index.
+    pub const fn new(line: u64) -> Self {
+        Self(line)
+    }
+
+    /// Raw line index.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The first physical address of the line.
+    pub const fn base_addr(self) -> PhysAddr {
+        PhysAddr(self.0 << LINE_SHIFT)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Line:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_in_same_line_share_line_addr() {
+        let a = PhysAddr::new(0x1000);
+        let b = PhysAddr::new(0x103F);
+        let c = PhysAddr::new(0x1040);
+        assert_eq!(a.line(), b.line());
+        assert_ne!(a.line(), c.line());
+    }
+
+    #[test]
+    fn line_base_round_trip() {
+        let line = PhysAddr::new(0x12345).line();
+        assert_eq!(line.base_addr().line(), line);
+        assert_eq!(line.base_addr().value() % 64, 0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Cache hierarchy model: private L2 caches and the sliced, distributed LLC.
+//!
+//! The model is deliberately scaled down (fewer sets/ways than real silicon,
+//! configurable via [`MachineConfig`](crate::MachineConfig)) — the mapping
+//! algorithms only depend on the *structure* (set-indexed L2 with limited
+//! associativity; LLC address-hashed across slices with an undisclosed
+//! per-instance function), not on capacities.
+
+use serde::{Deserialize, Serialize};
+
+use crate::LineAddr;
+
+/// Per-core private L2: set-indexed, LRU-replaced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct L2Cache {
+    sets: usize,
+    ways: usize,
+    /// Per-set MRU-ordered lines (`last` = most recently used) with a dirty
+    /// bit.
+    lines: Vec<Vec<(LineAddr, bool)>>,
+}
+
+impl L2Cache {
+    /// Creates an empty L2 with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(
+            sets.is_power_of_two(),
+            "L2 set count must be a power of two"
+        );
+        assert!(ways > 0, "L2 must have at least one way");
+        Self {
+            sets,
+            ways,
+            lines: vec![Vec::new(); sets],
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// The set index a line maps to.
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        (line.value() as usize) & (self.sets - 1)
+    }
+
+    /// Whether the line is present.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.lines[self.set_of(line)]
+            .iter()
+            .any(|&(l, _)| l == line)
+    }
+
+    /// Looks the line up, refreshing LRU state. Returns the dirty bit on a
+    /// hit.
+    pub fn touch(&mut self, line: LineAddr) -> Option<bool> {
+        let set = self.set_of(line);
+        let ways = &mut self.lines[set];
+        if let Some(pos) = ways.iter().position(|&(l, _)| l == line) {
+            let entry = ways.remove(pos);
+            ways.push(entry);
+            Some(entry.1)
+        } else {
+            None
+        }
+    }
+
+    /// Marks a present line dirty (no-op if absent).
+    pub fn mark_dirty(&mut self, line: LineAddr) {
+        let set = self.set_of(line);
+        if let Some(e) = self.lines[set].iter_mut().find(|(l, _)| *l == line) {
+            e.1 = true;
+        }
+    }
+
+    /// Marks a present line clean — used when a dirty line is downgraded to
+    /// shared by a remote read (no-op if absent).
+    pub fn mark_clean(&mut self, line: LineAddr) {
+        let set = self.set_of(line);
+        if let Some(e) = self.lines[set].iter_mut().find(|(l, _)| *l == line) {
+            e.1 = false;
+        }
+    }
+
+    /// Inserts a line (MRU, with the given dirty state), returning the
+    /// evicted victim `(line, dirty)` if the set overflowed.
+    pub fn insert(&mut self, line: LineAddr, dirty: bool) -> Option<(LineAddr, bool)> {
+        let set = self.set_of(line);
+        let ways = &mut self.lines[set];
+        if let Some(pos) = ways.iter().position(|&(l, _)| l == line) {
+            let mut entry = ways.remove(pos);
+            entry.1 |= dirty;
+            ways.push(entry);
+            return None;
+        }
+        let victim = if ways.len() == self.ways {
+            Some(ways.remove(0))
+        } else {
+            None
+        };
+        ways.push((line, dirty));
+        victim
+    }
+
+    /// Removes a line (invalidation), returning its dirty bit if present.
+    pub fn remove(&mut self, line: LineAddr) -> Option<bool> {
+        let set = self.set_of(line);
+        let ways = &mut self.lines[set];
+        ways.iter()
+            .position(|&(l, _)| l == line)
+            .map(|pos| ways.remove(pos).1)
+    }
+
+    /// Drains every line from the cache (`wbinvd`-like), returning all
+    /// `(line, dirty)` entries so the coherence layer can write back dirty
+    /// data and forget clean sharers.
+    pub fn drain(&mut self) -> Vec<(LineAddr, bool)> {
+        let mut out = Vec::new();
+        for set in &mut self.lines {
+            out.append(set);
+        }
+        out
+    }
+}
+
+/// The undisclosed LLC slice-hash: maps a cache line to the CHA/slice that
+/// "homes" it. Parameterized by a per-instance secret so no two machines
+/// share a mapping, mirroring the paper's observation that the hash is not
+/// public and need not be deciphered (Sec. II-A).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SliceHash {
+    secret: u64,
+    slices: usize,
+}
+
+impl SliceHash {
+    /// Creates a hash over `slices` slices with the given secret.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slices` is zero.
+    pub fn new(secret: u64, slices: usize) -> Self {
+        assert!(slices > 0, "LLC must have at least one slice");
+        Self { secret, slices }
+    }
+
+    /// Number of slices.
+    pub fn slices(&self) -> usize {
+        self.slices
+    }
+
+    /// The slice index homing `line`.
+    pub fn slice_of(&self, line: LineAddr) -> usize {
+        // Multiply-shift mixing of the line address with the secret; the
+        // exact function is irrelevant as long as it spreads lines roughly
+        // uniformly and differs per instance.
+        let mixed = (line.value() ^ self.secret).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mixed = mixed ^ (mixed >> 29);
+        (mixed % self.slices as u64) as usize
+    }
+}
+
+/// Global coherence state of a cache line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LineState {
+    /// Present only in the LLC home slice (or memory behind it).
+    InLlc,
+    /// Dirty and owned by the L2 of one core (OS core index).
+    Modified(u16),
+    /// Clean, shared by the L2s of the listed cores (sorted, deduped).
+    Shared(Vec<u16>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(v: u64) -> LineAddr {
+        LineAddr::new(v)
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut l2 = L2Cache::new(1, 2);
+        assert_eq!(l2.insert(line(1), false), None);
+        assert_eq!(l2.insert(line(2), false), None);
+        // Touch 1 so 2 becomes LRU.
+        l2.touch(line(1));
+        assert_eq!(l2.insert(line(3), false), Some((line(2), false)));
+        assert!(l2.contains(line(1)));
+        assert!(l2.contains(line(3)));
+    }
+
+    #[test]
+    fn dirty_bit_tracked_through_eviction() {
+        let mut l2 = L2Cache::new(1, 1);
+        l2.insert(line(1), false);
+        l2.mark_dirty(line(1));
+        assert_eq!(l2.insert(line(2), false), Some((line(1), true)));
+    }
+
+    #[test]
+    fn reinsert_merges_dirty_state() {
+        let mut l2 = L2Cache::new(1, 2);
+        l2.insert(line(1), true);
+        assert_eq!(l2.insert(line(1), false), None);
+        assert_eq!(l2.touch(line(1)), Some(true));
+    }
+
+    #[test]
+    fn set_indexing_separates_lines() {
+        let l2 = L2Cache::new(4, 2);
+        assert_eq!(l2.set_of(line(0)), 0);
+        assert_eq!(l2.set_of(line(5)), 1);
+        assert_eq!(l2.set_of(line(7)), 3);
+    }
+
+    #[test]
+    fn remove_returns_dirty_bit() {
+        let mut l2 = L2Cache::new(1, 2);
+        l2.insert(line(9), true);
+        assert_eq!(l2.remove(line(9)), Some(true));
+        assert_eq!(l2.remove(line(9)), None);
+    }
+
+    #[test]
+    fn drain_returns_all_lines_with_dirty_bits() {
+        let mut l2 = L2Cache::new(2, 2);
+        l2.insert(line(0), true);
+        l2.insert(line(1), false);
+        l2.insert(line(2), true);
+        let mut d = l2.drain(); // (line, dirty) pairs
+        d.sort();
+        assert_eq!(d, vec![(line(0), true), (line(1), false), (line(2), true)]);
+        assert!(!l2.contains(line(1)));
+    }
+
+    #[test]
+    fn mark_clean_clears_dirty_bit() {
+        let mut l2 = L2Cache::new(1, 2);
+        l2.insert(line(4), true);
+        l2.mark_clean(line(4));
+        assert_eq!(l2.touch(line(4)), Some(false));
+    }
+
+    #[test]
+    fn slice_hash_is_deterministic_and_varied() {
+        let h = SliceHash::new(0xDEADBEEF, 26);
+        let a = h.slice_of(line(100));
+        assert_eq!(a, h.slice_of(line(100)));
+        // Different secrets give a different mapping for at least one of a
+        // handful of lines.
+        let h2 = SliceHash::new(0xFEEDFACE, 26);
+        let differs = (0..32u64).any(|v| h.slice_of(line(v)) != h2.slice_of(line(v)));
+        assert!(differs);
+    }
+
+    #[test]
+    fn slice_hash_covers_all_slices() {
+        let h = SliceHash::new(42, 18);
+        let mut seen = [false; 18];
+        for v in 0..4096u64 {
+            seen[h.slice_of(line(v))] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "hash should reach every slice");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        let _ = L2Cache::new(3, 2);
+    }
+}

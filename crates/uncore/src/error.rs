@@ -1,0 +1,32 @@
+//! Machine access errors.
+
+use std::fmt;
+
+/// Error accessing a model-specific register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsrError {
+    /// The caller does not have root privileges on the machine.
+    PermissionDenied,
+    /// No register is mapped at the address.
+    UnknownMsr {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// The register exists but is read-only.
+    ReadOnly {
+        /// The faulting address.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for MsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsrError::PermissionDenied => f.write_str("msr access requires root privileges"),
+            MsrError::UnknownMsr { addr } => write!(f, "no msr mapped at {addr:#x}"),
+            MsrError::ReadOnly { addr } => write!(f, "msr {addr:#x} is read-only"),
+        }
+    }
+}
+
+impl std::error::Error for MsrError {}

@@ -1,0 +1,201 @@
+//! Uncore PMON event encodings.
+//!
+//! Mirrors the structure of the Intel Xeon Scalable uncore performance
+//! monitoring reference: a CHA counter is programmed by writing an *event
+//! select* value (event code plus unit mask) to its control MSR. The mapping
+//! methodology needs exactly five events (paper Sec. II-A/B): the LLC lookup
+//! count and the four ring-occupancy ingress counters.
+
+use coremap_mesh::Direction;
+use serde::{Deserialize, Serialize};
+
+/// Event code of `LLC_LOOKUP`.
+pub const EV_LLC_LOOKUP: u64 = 0x34;
+/// Event code of `VERT_RING_BL_IN_USE` (data ring).
+pub const EV_VERT_RING_BL_IN_USE: u64 = 0xAA;
+/// Event code of `HORZ_RING_BL_IN_USE` (data ring).
+pub const EV_HORZ_RING_BL_IN_USE: u64 = 0xAB;
+/// Event code of `VERT_RING_AD_IN_USE` (address/request ring).
+pub const EV_VERT_RING_AD_IN_USE: u64 = 0xA6;
+/// Event code of `HORZ_RING_AD_IN_USE` (address/request ring).
+pub const EV_HORZ_RING_AD_IN_USE: u64 = 0xA7;
+/// Event code of `VERT_RING_IV_IN_USE` (invalidation/snoop-response ring).
+pub const EV_VERT_RING_IV_IN_USE: u64 = 0xB0;
+/// Event code of `HORZ_RING_IV_IN_USE` (invalidation/snoop-response ring).
+pub const EV_HORZ_RING_IV_IN_USE: u64 = 0xB1;
+
+/// The mesh ring class a message travels on. The Xeon mesh multiplexes
+/// several message classes over each physical link; the uncore exposes
+/// separate in-use counters per class. The paper monitors the BL (data)
+/// ring (Sec. II-B); the AD (request) and IV (invalidation) classes are
+/// modelled so the ring-choice ablation can compare them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RingClass {
+    /// Data payload ring (`*_RING_BL_IN_USE`).
+    Bl,
+    /// Address/request ring (`*_RING_AD_IN_USE`).
+    Ad,
+    /// Invalidation / snoop-response ring (`*_RING_IV_IN_USE`).
+    Iv,
+}
+
+/// Unit mask selecting the "up"/"left" flavour of a ring event.
+pub const UMASK_FIRST: u64 = 0x01;
+/// Unit mask selecting the "down"/"right" flavour of a ring event.
+pub const UMASK_SECOND: u64 = 0x02;
+/// Unit mask selecting all LLC lookup types.
+pub const UMASK_LLC_ANY: u64 = 0x1F;
+
+/// An uncore event a CHA PMON counter can be programmed to count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UncoreEvent {
+    /// A lookup in the tile's LLC slice (any request type).
+    LlcLookup,
+    /// A cycle of the vertical ("BL" data) ingress ring in use, in the given
+    /// observed direction (`Up` or `Down`).
+    VertRingBlInUse(Direction),
+    /// A cycle of the horizontal ingress ring in use, in the given observed
+    /// direction (`Left` or `Right`). Note the observed label is scrambled
+    /// by the odd-column tile flip.
+    HorzRingBlInUse(Direction),
+    /// Vertical address/request-ring ingress cycle.
+    VertRingAdInUse(Direction),
+    /// Horizontal address/request-ring ingress cycle (label scrambled like
+    /// BL).
+    HorzRingAdInUse(Direction),
+    /// Vertical invalidation-ring ingress cycle.
+    VertRingIvInUse(Direction),
+    /// Horizontal invalidation-ring ingress cycle (label scrambled).
+    HorzRingIvInUse(Direction),
+}
+
+impl UncoreEvent {
+    /// Encodes the event as an event-select register value
+    /// (`event | umask << 8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a ring event carries a direction of the wrong axis (e.g.
+    /// `VertRingBlInUse(Left)`); such values cannot be constructed by this
+    /// crate's machinery.
+    pub fn encode(self) -> u64 {
+        match self {
+            UncoreEvent::LlcLookup => EV_LLC_LOOKUP | (UMASK_LLC_ANY << 8),
+            UncoreEvent::VertRingBlInUse(d) => EV_VERT_RING_BL_IN_USE | (vert_umask(d) << 8),
+            UncoreEvent::HorzRingBlInUse(d) => EV_HORZ_RING_BL_IN_USE | (horz_umask(d) << 8),
+            UncoreEvent::VertRingAdInUse(d) => EV_VERT_RING_AD_IN_USE | (vert_umask(d) << 8),
+            UncoreEvent::HorzRingAdInUse(d) => EV_HORZ_RING_AD_IN_USE | (horz_umask(d) << 8),
+            UncoreEvent::VertRingIvInUse(d) => EV_VERT_RING_IV_IN_USE | (vert_umask(d) << 8),
+            UncoreEvent::HorzRingIvInUse(d) => EV_HORZ_RING_IV_IN_USE | (horz_umask(d) << 8),
+        }
+    }
+
+    /// Decodes an event-select register value back into an event, if it is
+    /// one this model implements.
+    pub fn decode(value: u64) -> Option<UncoreEvent> {
+        let event = value & 0xFF;
+        let umask = (value >> 8) & 0xFF;
+        let vert_dir = match umask {
+            UMASK_FIRST => Some(Direction::Up),
+            UMASK_SECOND => Some(Direction::Down),
+            _ => None,
+        };
+        let horz_dir = match umask {
+            UMASK_FIRST => Some(Direction::Left),
+            UMASK_SECOND => Some(Direction::Right),
+            _ => None,
+        };
+        match event {
+            EV_LLC_LOOKUP => Some(UncoreEvent::LlcLookup),
+            EV_VERT_RING_BL_IN_USE => vert_dir.map(UncoreEvent::VertRingBlInUse),
+            EV_HORZ_RING_BL_IN_USE => horz_dir.map(UncoreEvent::HorzRingBlInUse),
+            EV_VERT_RING_AD_IN_USE => vert_dir.map(UncoreEvent::VertRingAdInUse),
+            EV_HORZ_RING_AD_IN_USE => horz_dir.map(UncoreEvent::HorzRingAdInUse),
+            EV_VERT_RING_IV_IN_USE => vert_dir.map(UncoreEvent::VertRingIvInUse),
+            EV_HORZ_RING_IV_IN_USE => horz_dir.map(UncoreEvent::HorzRingIvInUse),
+            _ => None,
+        }
+    }
+
+    /// The ring event corresponding to an observed ingress label on the BL
+    /// (data) ring.
+    pub fn from_ingress_label(label: Direction) -> UncoreEvent {
+        Self::from_ingress_label_on(RingClass::Bl, label)
+    }
+
+    /// The ring event corresponding to an observed ingress label on the
+    /// given ring class.
+    pub fn from_ingress_label_on(ring: RingClass, label: Direction) -> UncoreEvent {
+        match (ring, label.is_vertical()) {
+            (RingClass::Bl, true) => UncoreEvent::VertRingBlInUse(label),
+            (RingClass::Bl, false) => UncoreEvent::HorzRingBlInUse(label),
+            (RingClass::Ad, true) => UncoreEvent::VertRingAdInUse(label),
+            (RingClass::Ad, false) => UncoreEvent::HorzRingAdInUse(label),
+            (RingClass::Iv, true) => UncoreEvent::VertRingIvInUse(label),
+            (RingClass::Iv, false) => UncoreEvent::HorzRingIvInUse(label),
+        }
+    }
+}
+
+fn vert_umask(d: Direction) -> u64 {
+    match d {
+        Direction::Up => UMASK_FIRST,
+        Direction::Down => UMASK_SECOND,
+        other => panic!("vertical ring event with direction {other}"),
+    }
+}
+
+fn horz_umask(d: Direction) -> u64 {
+    match d {
+        Direction::Left => UMASK_FIRST,
+        Direction::Right => UMASK_SECOND,
+        other => panic!("horizontal ring event with direction {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let events = [
+            UncoreEvent::LlcLookup,
+            UncoreEvent::VertRingBlInUse(Direction::Up),
+            UncoreEvent::VertRingBlInUse(Direction::Down),
+            UncoreEvent::HorzRingBlInUse(Direction::Left),
+            UncoreEvent::HorzRingBlInUse(Direction::Right),
+            UncoreEvent::VertRingAdInUse(Direction::Up),
+            UncoreEvent::HorzRingAdInUse(Direction::Right),
+            UncoreEvent::VertRingIvInUse(Direction::Down),
+            UncoreEvent::HorzRingIvInUse(Direction::Left),
+        ];
+        for e in events {
+            assert_eq!(UncoreEvent::decode(e.encode()), Some(e));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown() {
+        assert_eq!(UncoreEvent::decode(0x00), None);
+        assert_eq!(UncoreEvent::decode(0xAA | (0x7 << 8)), None);
+    }
+
+    #[test]
+    fn ingress_label_mapping() {
+        assert_eq!(
+            UncoreEvent::from_ingress_label(Direction::Up),
+            UncoreEvent::VertRingBlInUse(Direction::Up)
+        );
+        assert_eq!(
+            UncoreEvent::from_ingress_label(Direction::Right),
+            UncoreEvent::HorzRingBlInUse(Direction::Right)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "vertical ring event")]
+    fn encode_rejects_axis_mismatch() {
+        let _ = UncoreEvent::VertRingBlInUse(Direction::Left).encode();
+    }
+}

@@ -1,0 +1,59 @@
+//! # coremap-uncore
+//!
+//! Simulated bare-metal Xeon machine for the core-map methodology: the
+//! substitution substrate standing in for the real hardware the paper
+//! measures (root MSR access, uncore PMON, caches, mesh traffic).
+//!
+//! The simulation is *behavioural*, not cycle-accurate: it reproduces
+//! exactly the observables the mapping tool consumes —
+//!
+//! * an [`msr`]-addressed register file holding the PPIN and one
+//!   [CHA PMON bank](pmon::ChaPmonBox) per active CHA (four counters, event
+//!   select registers, freeze/reset control, paper Sec. II-A/B),
+//! * an L2 + sliced-LLC [cache model](cache) with an undisclosed,
+//!   per-instance slice hash,
+//! * a MESI-like coherence layer whose data transfers ride the mesh via
+//!   [`coremap_mesh::route`] and bump the ring-occupancy counters of every
+//!   tile with an *active* CHA they pass (disabled tiles route silently,
+//!   Sec. II-B),
+//!
+//! and it enforces the same access rules (MSRs require root; threads are
+//! placed by OS core ID; PMON banks are indexed by CHA ID).
+//!
+//! The central type is [`XeonMachine`]. Higher layers drive it through
+//! high-level "pinned worker thread" operations ([`XeonMachine::write_line`],
+//! [`XeonMachine::read_line`], …) and read the PMON through MSRs, exactly
+//! mirroring the structure of the paper's measurement tool.
+//!
+//! ```
+//! use coremap_mesh::{DieTemplate, FloorplanBuilder, OsCoreId};
+//! use coremap_uncore::{MachineConfig, PhysAddr, XeonMachine};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc).build()?;
+//! let mut machine = XeonMachine::new(plan, MachineConfig::default());
+//! // A pinned worker on cpu0 writes a line, dirtying it in its L2.
+//! machine.write_line(OsCoreId::new(0), PhysAddr::new(0x1000));
+//! // Another worker on cpu7 reads it: the dirty data crosses the mesh.
+//! machine.read_line(OsCoreId::new(7), PhysAddr::new(0x1000));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+pub mod cache;
+mod error;
+pub mod events;
+mod machine;
+pub mod msr;
+mod noise;
+pub mod pmon;
+
+pub use addr::{LineAddr, PhysAddr};
+pub use error::MsrError;
+pub use events::{RingClass, UncoreEvent};
+pub use machine::{ChannelCounts, MachineConfig, XeonMachine};
+pub use noise::NoiseModel;

@@ -1,0 +1,128 @@
+//! MSR address map of the simulated machine.
+//!
+//! The monitoring tool accesses all machine state the way the paper's tool
+//! does: through model-specific registers, requiring root. The layout
+//! mirrors (in simplified form) the Xeon Scalable uncore PMON programming
+//! model: each CHA owns a bank of registers at a fixed stride.
+
+/// The PPIN (Protected Processor Inventory Number) MSR.
+pub const MSR_PPIN: u32 = 0x4F;
+
+/// Base address of CHA 0's PMON bank.
+pub const CHA_MSR_BASE: u32 = 0x0E00;
+/// Address stride between consecutive CHA banks.
+pub const CHA_MSR_STRIDE: u32 = 0x10;
+/// Offset of the unit control register within a bank.
+pub const CHA_UNIT_CTL: u32 = 0x0;
+/// Offset of the first counter-control (event select) register.
+pub const CHA_CTL0: u32 = 0x1;
+/// Offset of the first counter register.
+pub const CHA_CTR0: u32 = 0x6;
+/// Number of counters per CHA bank.
+pub const CHA_COUNTERS: usize = 4;
+
+/// Unit-control bit: writing 1 resets all counters of the bank.
+pub const UNIT_CTL_RESET: u64 = 1 << 1;
+/// Unit-control bit: while set, the bank's counters are frozen.
+pub const UNIT_CTL_FREEZE: u64 = 1 << 8;
+
+/// Address of the unit control register of `cha`.
+pub fn unit_ctl(cha: usize) -> u32 {
+    CHA_MSR_BASE + cha as u32 * CHA_MSR_STRIDE + CHA_UNIT_CTL
+}
+
+/// Address of counter-control register `idx` of `cha`.
+///
+/// # Panics
+///
+/// Panics if `idx >= CHA_COUNTERS`.
+pub fn counter_ctl(cha: usize, idx: usize) -> u32 {
+    assert!(idx < CHA_COUNTERS, "CHA has only {CHA_COUNTERS} counters");
+    CHA_MSR_BASE + cha as u32 * CHA_MSR_STRIDE + CHA_CTL0 + idx as u32
+}
+
+/// Address of counter register `idx` of `cha`.
+///
+/// # Panics
+///
+/// Panics if `idx >= CHA_COUNTERS`.
+pub fn counter(cha: usize, idx: usize) -> u32 {
+    assert!(idx < CHA_COUNTERS, "CHA has only {CHA_COUNTERS} counters");
+    CHA_MSR_BASE + cha as u32 * CHA_MSR_STRIDE + CHA_CTR0 + idx as u32
+}
+
+/// Decodes an MSR address into `(cha, register)` if it falls inside a CHA
+/// PMON bank.
+pub fn decode_cha_msr(addr: u32) -> Option<(usize, ChaRegister)> {
+    if addr < CHA_MSR_BASE {
+        return None;
+    }
+    let off = addr - CHA_MSR_BASE;
+    let cha = (off / CHA_MSR_STRIDE) as usize;
+    let reg = off % CHA_MSR_STRIDE;
+    let reg = match reg {
+        CHA_UNIT_CTL => ChaRegister::UnitCtl,
+        r if (CHA_CTL0..CHA_CTL0 + CHA_COUNTERS as u32).contains(&r) => {
+            ChaRegister::CounterCtl((r - CHA_CTL0) as usize)
+        }
+        r if (CHA_CTR0..CHA_CTR0 + CHA_COUNTERS as u32).contains(&r) => {
+            ChaRegister::Counter((r - CHA_CTR0) as usize)
+        }
+        _ => return None,
+    };
+    Some((cha, reg))
+}
+
+/// A register within a CHA PMON bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaRegister {
+    /// The bank-wide control register (freeze / reset).
+    UnitCtl,
+    /// Event-select register of counter `n`.
+    CounterCtl(usize),
+    /// Counter register `n`.
+    Counter(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_round_trip() {
+        for cha in [0usize, 1, 7, 25] {
+            assert_eq!(
+                decode_cha_msr(unit_ctl(cha)),
+                Some((cha, ChaRegister::UnitCtl))
+            );
+            for idx in 0..CHA_COUNTERS {
+                assert_eq!(
+                    decode_cha_msr(counter_ctl(cha, idx)),
+                    Some((cha, ChaRegister::CounterCtl(idx)))
+                );
+                assert_eq!(
+                    decode_cha_msr(counter(cha, idx)),
+                    Some((cha, ChaRegister::Counter(idx)))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ppin_not_in_cha_range() {
+        assert_eq!(decode_cha_msr(MSR_PPIN), None);
+    }
+
+    #[test]
+    fn unused_bank_slots_decode_to_none() {
+        // Offsets 0x5 and 0xA..0xF within a bank are unassigned.
+        assert_eq!(decode_cha_msr(CHA_MSR_BASE + 0x5), None);
+        assert_eq!(decode_cha_msr(CHA_MSR_BASE + 0xA), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn counter_index_bounds_checked() {
+        let _ = counter(0, 4);
+    }
+}

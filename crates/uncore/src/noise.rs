@@ -1,0 +1,57 @@
+//! Background-traffic noise injection.
+//!
+//! The paper's measurements run on cloud machines where other tenants and
+//! the OS generate mesh traffic concurrently with the monitoring tool. The
+//! noise model injects random line transfers between random tiles around
+//! each monitored operation, so thresholding logic in the mapper is
+//! exercised against realistic interference.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of background mesh noise.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Expected number of random background transfers injected per monitored
+    /// machine operation.
+    pub transfers_per_op: f64,
+}
+
+impl NoiseModel {
+    /// A quiet machine (no background traffic).
+    pub fn quiet() -> Self {
+        Self {
+            transfers_per_op: 0.0,
+        }
+    }
+
+    /// A lightly loaded cloud host.
+    pub fn light() -> Self {
+        Self {
+            transfers_per_op: 0.05,
+        }
+    }
+
+    /// A busy cloud host; mapping should still succeed with thresholding.
+    pub fn busy() -> Self {
+        Self {
+            transfers_per_op: 0.5,
+        }
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        Self::quiet()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_ordered_by_intensity() {
+        assert!(NoiseModel::quiet().transfers_per_op < NoiseModel::light().transfers_per_op);
+        assert!(NoiseModel::light().transfers_per_op < NoiseModel::busy().transfers_per_op);
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-CHA PMON counter banks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::events::UncoreEvent;
+use crate::msr::{CHA_COUNTERS, UNIT_CTL_FREEZE, UNIT_CTL_RESET};
+
+/// One CHA's PMON bank: four programmable counters plus a unit control
+/// register supporting freeze and reset — the register set the paper's
+/// monitoring tool programs over MSRs (Sec. II-B).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ChaPmonBox {
+    ctl: [u64; CHA_COUNTERS],
+    ctr: [u64; CHA_COUNTERS],
+    frozen: bool,
+}
+
+impl ChaPmonBox {
+    /// Creates a bank with all counters unprogrammed and running.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `event` occurring `count` times at this tile: every counter
+    /// programmed to the event increments, unless the bank is frozen.
+    pub fn record(&mut self, event: UncoreEvent, count: u64) {
+        if self.frozen {
+            return;
+        }
+        for i in 0..CHA_COUNTERS {
+            if UncoreEvent::decode(self.ctl[i]) == Some(event) {
+                self.ctr[i] = self.ctr[i].wrapping_add(count);
+            }
+        }
+    }
+
+    /// Writes counter-control register `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn write_ctl(&mut self, idx: usize, value: u64) {
+        self.ctl[idx] = value;
+    }
+
+    /// Reads counter-control register `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn read_ctl(&self, idx: usize) -> u64 {
+        self.ctl[idx]
+    }
+
+    /// Reads counter `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn read_counter(&self, idx: usize) -> u64 {
+        self.ctr[idx]
+    }
+
+    /// Writes counter `idx` (the real hardware allows pre-loading counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn write_counter(&mut self, idx: usize, value: u64) {
+        self.ctr[idx] = value;
+    }
+
+    /// Applies a unit-control write: bit 1 resets all counters, bit 8 sets
+    /// the freeze state (set = frozen, clear = running).
+    pub fn write_unit_ctl(&mut self, value: u64) {
+        if value & UNIT_CTL_RESET != 0 {
+            self.ctr = [0; CHA_COUNTERS];
+        }
+        self.frozen = value & UNIT_CTL_FREEZE != 0;
+    }
+
+    /// Current unit-control value (freeze bit only; reset is write-only).
+    pub fn read_unit_ctl(&self) -> u64 {
+        if self.frozen {
+            UNIT_CTL_FREEZE
+        } else {
+            0
+        }
+    }
+
+    /// Whether the bank is frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coremap_mesh::Direction;
+
+    #[test]
+    fn programmed_counter_counts_matching_events() {
+        let mut b = ChaPmonBox::new();
+        b.write_ctl(0, UncoreEvent::LlcLookup.encode());
+        b.write_ctl(1, UncoreEvent::VertRingBlInUse(Direction::Up).encode());
+        b.record(UncoreEvent::LlcLookup, 3);
+        b.record(UncoreEvent::VertRingBlInUse(Direction::Up), 2);
+        b.record(UncoreEvent::VertRingBlInUse(Direction::Down), 5);
+        assert_eq!(b.read_counter(0), 3);
+        assert_eq!(b.read_counter(1), 2);
+        assert_eq!(b.read_counter(2), 0);
+    }
+
+    #[test]
+    fn freeze_stops_counting() {
+        let mut b = ChaPmonBox::new();
+        b.write_ctl(0, UncoreEvent::LlcLookup.encode());
+        b.record(UncoreEvent::LlcLookup, 1);
+        b.write_unit_ctl(UNIT_CTL_FREEZE);
+        assert!(b.is_frozen());
+        b.record(UncoreEvent::LlcLookup, 10);
+        assert_eq!(b.read_counter(0), 1);
+        b.write_unit_ctl(0);
+        b.record(UncoreEvent::LlcLookup, 1);
+        assert_eq!(b.read_counter(0), 2);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let mut b = ChaPmonBox::new();
+        b.write_ctl(2, UncoreEvent::HorzRingBlInUse(Direction::Left).encode());
+        b.record(UncoreEvent::HorzRingBlInUse(Direction::Left), 7);
+        assert_eq!(b.read_counter(2), 7);
+        b.write_unit_ctl(UNIT_CTL_RESET);
+        assert_eq!(b.read_counter(2), 0);
+        assert!(!b.is_frozen());
+    }
+
+    #[test]
+    fn two_counters_same_event_both_count() {
+        let mut b = ChaPmonBox::new();
+        b.write_ctl(0, UncoreEvent::LlcLookup.encode());
+        b.write_ctl(3, UncoreEvent::LlcLookup.encode());
+        b.record(UncoreEvent::LlcLookup, 1);
+        assert_eq!(b.read_counter(0), 1);
+        assert_eq!(b.read_counter(3), 1);
+    }
+}

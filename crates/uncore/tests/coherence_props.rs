@@ -1,0 +1,149 @@
+//! Property tests: the MESI-like coherence layer keeps its invariants under
+//! arbitrary interleavings of loads and stores from all cores.
+
+use coremap_mesh::{DieTemplate, FloorplanBuilder, OsCoreId};
+use coremap_uncore::cache::LineState;
+use coremap_uncore::{MachineConfig, PhysAddr, XeonMachine};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Read(u16, u8),
+    Write(u16, u8),
+    Flush,
+}
+
+fn op_strategy(cores: u16, lines: u8) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0..cores, 0..lines).prop_map(|(c, l)| Op::Read(c, l)),
+        8 => (0..cores, 0..lines).prop_map(|(c, l)| Op::Write(c, l)),
+        1 => Just(Op::Flush),
+    ]
+}
+
+/// After every operation:
+/// * `Modified(c)` implies the line sits dirty in exactly core `c`'s L2;
+/// * `Shared(s)` implies every listed sharer holds a clean copy and nobody
+///   outside the set holds the line;
+/// * `InLlc` implies no L2 holds the line.
+fn check_invariants(machine: &XeonMachine, lines: &[PhysAddr]) {
+    let cores: Vec<OsCoreId> = machine.os_cores();
+    for &pa in lines {
+        let holders: Vec<(OsCoreId, bool)> = cores
+            .iter()
+            .filter_map(|&c| machine.l2_probe(c, pa).map(|d| (c, d)))
+            .collect();
+        match machine.line_state(pa) {
+            LineState::Modified(owner) => {
+                assert_eq!(holders.len(), 1, "{pa}: modified line held by {holders:?}");
+                assert_eq!(holders[0].0.index(), owner as usize, "{pa}: wrong owner");
+                assert!(holders[0].1, "{pa}: modified line must be dirty");
+            }
+            LineState::Shared(sharers) => {
+                assert!(!sharers.is_empty(), "{pa}: empty shared set");
+                let holder_ids: Vec<u16> = holders.iter().map(|&(c, _)| c.index() as u16).collect();
+                for s in &sharers {
+                    assert!(
+                        holder_ids.contains(s),
+                        "{pa}: sharer {s} lost its copy (holders {holder_ids:?})"
+                    );
+                }
+                for &(c, dirty) in &holders {
+                    assert!(
+                        sharers.contains(&(c.index() as u16)),
+                        "{pa}: cpu{} holds an untracked copy",
+                        c.index()
+                    );
+                    assert!(!dirty, "{pa}: shared copy in cpu{} is dirty", c.index());
+                }
+            }
+            LineState::InLlc => {
+                assert!(holders.is_empty(), "{pa}: InLlc but held by {holders:?}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn coherence_invariants_hold(ops in prop::collection::vec(op_strategy(6, 12), 1..120)) {
+        // A tiny L2 maximizes eviction pressure.
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc).build().expect("plan");
+        let mut machine = XeonMachine::new(
+            plan,
+            MachineConfig {
+                l2_sets: 2,
+                l2_ways: 2,
+                ..MachineConfig::default()
+            },
+        );
+        // Lines chosen to collide in the small L2.
+        let lines: Vec<PhysAddr> = (0..12u64).map(|i| PhysAddr::new(i * 64)).collect();
+        for op in ops {
+            match op {
+                Op::Read(c, l) => machine.read_line(OsCoreId::new(c), lines[l as usize]),
+                Op::Write(c, l) => machine.write_line(OsCoreId::new(c), lines[l as usize]),
+                Op::Flush => machine.flush_caches(),
+            }
+            check_invariants(&machine, &lines);
+        }
+    }
+
+    #[test]
+    fn counter_totals_equal_observable_route_hops(
+        pairs in prop::collection::vec((0u16..18, 0u16..18), 1..20)
+    ) {
+        use coremap_uncore::msr::{counter_ctl, unit_ctl, UNIT_CTL_RESET};
+        use coremap_uncore::UncoreEvent;
+        use coremap_mesh::{route::route, Direction};
+
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc).build().expect("plan");
+        let truth = plan.clone();
+        let mut machine = XeonMachine::new(plan, MachineConfig::default());
+        for cha in 0..machine.cha_count() {
+            machine.write_msr(counter_ctl(cha, 0), UncoreEvent::VertRingBlInUse(Direction::Up).encode()).unwrap();
+            machine.write_msr(counter_ctl(cha, 1), UncoreEvent::VertRingBlInUse(Direction::Down).encode()).unwrap();
+            machine.write_msr(counter_ctl(cha, 2), UncoreEvent::HorzRingBlInUse(Direction::Left).encode()).unwrap();
+            machine.write_msr(counter_ctl(cha, 3), UncoreEvent::HorzRingBlInUse(Direction::Right).encode()).unwrap();
+        }
+
+        for (a, b) in pairs {
+            if a == b {
+                continue;
+            }
+            let (src, dst) = (OsCoreId::new(a), OsCoreId::new(b));
+            let pa = PhysAddr::new(0xAB00);
+            // Establish ownership at src, reset, then do one dirty forward.
+            machine.write_line(src, pa);
+            for cha in 0..machine.cha_count() {
+                machine.write_msr(unit_ctl(cha), UNIT_CTL_RESET).unwrap();
+            }
+            machine.read_line(dst, pa);
+
+            let observable: usize = route(
+                truth.coord_of_core(src),
+                truth.coord_of_core(dst),
+                truth.dim(),
+            )
+            .events()
+            .iter()
+            .filter(|e| truth.is_observable(e.tile))
+            .count();
+            let measured: u64 = (0..machine.cha_count())
+                .map(|cha| {
+                    (0..4)
+                        .map(|i| {
+                            machine
+                                .read_msr(coremap_uncore::msr::counter(cha, i))
+                                .unwrap()
+                        })
+                        .sum::<u64>()
+                })
+                .sum();
+            prop_assert_eq!(measured as usize, observable, "{} -> {}", src, dst);
+            machine.flush_caches();
+        }
+    }
+}

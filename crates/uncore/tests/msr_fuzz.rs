@@ -1,0 +1,65 @@
+//! Property tests: the MSR fabric never panics and never aliases registers
+//! across CHA banks, whatever addresses a (buggy or malicious) tool throws
+//! at it.
+
+use coremap_mesh::{DieTemplate, FloorplanBuilder};
+use coremap_uncore::msr;
+use coremap_uncore::{MachineConfig, MsrError, XeonMachine};
+use proptest::prelude::*;
+
+fn machine() -> XeonMachine {
+    let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+        .build()
+        .expect("plan");
+    XeonMachine::new(plan, MachineConfig::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_msr_access_never_panics(
+        ops in prop::collection::vec((any::<u32>(), any::<u64>(), any::<bool>()), 1..64)
+    ) {
+        let mut m = machine();
+        for (addr, value, write) in ops {
+            if write {
+                let _ = m.write_msr(addr, value);
+            } else {
+                let _ = m.read_msr(addr);
+            }
+        }
+    }
+
+    #[test]
+    fn counter_writes_stay_within_their_bank(
+        cha in 0usize..28,
+        idx in 0usize..4,
+        value in any::<u64>(),
+    ) {
+        let mut m = machine();
+        m.write_msr(msr::counter(cha, idx), value).expect("in range");
+        // Every other counter register still reads zero.
+        for other_cha in 0..m.cha_count() {
+            for other_idx in 0..4 {
+                let expect = if (other_cha, other_idx) == (cha, idx) { value } else { 0 };
+                prop_assert_eq!(
+                    m.read_msr(msr::counter(other_cha, other_idx)).expect("in range"),
+                    expect
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_addresses_error_consistently(addr in 0u32..0x2000) {
+        let m = machine();
+        let decodes = addr == msr::MSR_PPIN
+            || matches!(msr::decode_cha_msr(addr), Some((cha, _)) if cha < m.cha_count());
+        match m.read_msr(addr) {
+            Ok(_) => prop_assert!(decodes, "addr {addr:#x} read but should not decode"),
+            Err(MsrError::UnknownMsr { .. }) => prop_assert!(!decodes),
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+}

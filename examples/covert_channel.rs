@@ -1,0 +1,58 @@
+//! Covert channel: exfiltrate a text message between two colluding tenants
+//! through heat, using the recovered core map for placement (paper Sec.
+//! IV).
+//!
+//! ```sh
+//! cargo run --release --example covert_channel
+//! ```
+
+use core_map::core::CoreMapper;
+use core_map::fleet::{CloudFleet, CpuModel};
+use core_map::mesh::OsCoreId;
+use core_map::thermal::encoding::{bits_to_bytes, bytes_to_bits};
+use core_map::thermal::power::ThermalNoise;
+use core_map::thermal::{ChannelConfig, ThermalParams, ThermalSim};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fleet = CloudFleet::with_seed(2022);
+    let instance = fleet.instance(CpuModel::Platinum8259CL, 0)?;
+
+    // Phase 1 (root, once per chip): recover the core map.
+    let mut machine = instance.boot();
+    let map = CoreMapper::new().map(&mut machine)?;
+
+    // Phase 2 (user level): the sender picks the core vertically adjacent
+    // to the receiver — the strongest thermal coupling (Sec. V-A).
+    let (receiver, sender) = (0..map.core_count() as u16)
+        .map(OsCoreId::new)
+        .find_map(|rx| map.vertical_neighbor_cores(rx).first().map(|&tx| (rx, tx)))
+        .expect("some core has a vertical neighbour");
+    println!(
+        "sender cpu{} -> receiver cpu{} ({} hop(s) on the recovered map)",
+        sender.index(),
+        receiver.index(),
+        map.hop_distance(sender, receiver)
+    );
+
+    let message = b"KNOW YOUR NEIGHBOR";
+    let bits = bytes_to_bits(message);
+    println!(
+        "transmitting {} bytes ({} bits) at 2 bps over a noisy cloud host...",
+        message.len(),
+        bits.len()
+    );
+
+    let tiles = instance.floorplan().dim().tile_count();
+    let mut sim = ThermalSim::new(instance.floorplan().clone(), ThermalParams::default(), 7)
+        .with_noise(ThermalNoise::cloud(tiles));
+    let report = ChannelConfig::new(vec![sender], receiver, 2.0).transfer(&mut sim, &bits);
+
+    let received = bits_to_bytes(&report.decoded);
+    println!(
+        "received: {:?} (BER {:.4}, {:.0} s of transmission)",
+        String::from_utf8_lossy(&received),
+        report.ber(),
+        report.seconds
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Defense audit: how much does degrading the user-visible temperature
+//! sensor (resolution and sampling rate) cost the attacker? (Paper Sec. IV
+//! discusses exactly this mitigation: "reducing the resolution or the
+//! update frequency of the temperature sensors can reduce the channel
+//! capacity".)
+//!
+//! ```sh
+//! cargo run --release --example defense_audit
+//! ```
+
+use core_map::core::CoreMapper;
+use core_map::fleet::{CloudFleet, CpuModel};
+use core_map::mesh::Direction;
+use core_map::thermal::sensor::TempSensor;
+use core_map::thermal::{ChannelConfig, ThermalParams, ThermalSim};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fleet = CloudFleet::with_seed(2022);
+    let instance = fleet.instance(CpuModel::Platinum8259CL, 0)?;
+    let mut machine = instance.boot();
+    let map = CoreMapper::new().map(&mut machine)?;
+
+    // A vertical 1-hop pair from the recovered map (best-case attacker).
+    let cores: Vec<_> = (0..map.core_count() as u16)
+        .map(core_map::mesh::OsCoreId::new)
+        .collect();
+    let (tx, rx) = cores
+        .iter()
+        .flat_map(|&a| cores.iter().map(move |&b| (a, b)))
+        .find(|&(a, b)| {
+            a != b && {
+                let (ca, cb) = (map.coord_of_core(a), map.coord_of_core(b));
+                ca.col == cb.col && ca.row.abs_diff(cb.row) == 1
+            }
+        })
+        .expect("vertical pair");
+    let _ = Direction::Up;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let payload: Vec<bool> = (0..400).map(|_| rng.gen()).collect();
+
+    println!("defense audit: sensor degradation vs channel BER (400 bits)\n");
+    println!(
+        "{:>12} {:>12} {:>10} {:>10}",
+        "resolution", "sample rate", "BER@2bps", "BER@8bps"
+    );
+    for (res, sample_rate) in [
+        (1.0, 50.0), // stock Xeon sensor
+        (1.0, 10.0), // rate-limited
+        (1.0, 4.0),  // heavily rate-limited
+        (2.0, 50.0), // coarsened
+        (4.0, 50.0), // strongly coarsened
+        (4.0, 4.0),  // both defenses
+    ] {
+        let mut bers = Vec::new();
+        for bit_rate in [2.0, 8.0] {
+            let mut sim =
+                ThermalSim::new(instance.floorplan().clone(), ThermalParams::default(), 9)
+                    .with_sensor(TempSensor::degraded(res, sample_rate));
+            let report = ChannelConfig::new(vec![tx], rx, bit_rate).transfer(&mut sim, &payload);
+            bers.push(report.ber());
+        }
+        println!(
+            "{res:>10} C {sample_rate:>10} Hz {:>10.3} {:>10.3}",
+            bers[0], bers[1]
+        );
+    }
+    println!(
+        "\nCoarser quantization buries the ~2 C neighbour swing outright;\n\
+         rate-limiting starves the decoder of per-half-bit samples and bites\n\
+         at higher bit rates first. The paper notes an attacker with physical\n\
+         access could still fall back to external IR probing of the located\n\
+         tiles."
+    );
+    Ok(())
+}

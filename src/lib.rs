@@ -1,0 +1,39 @@
+//! # core-map
+//!
+//! Umbrella crate for the reproduction of *"Know Your Neighbor: Physically
+//! Locating Xeon Processor Cores on the Core Tile Grid"* (DATE 2022).
+//!
+//! This crate re-exports the workspace members under stable module names so
+//! examples and downstream users can depend on a single crate:
+//!
+//! * [`mesh`] — tile grids, floorplans, dimension-order routing.
+//! * [`ilp`] — the from-scratch MILP solver used by the reconstruction.
+//! * [`uncore`] — simulated MSR / uncore-PMON / cache machine model.
+//! * [`core`] — the three-step core-location mapping methodology.
+//! * [`thermal`] — RC thermal model and the inter-core thermal covert
+//!   channel.
+//! * [`fleet`] — cloud-fleet instance generation and pattern statistics.
+//!
+//! ```
+//! use core_map::fleet::{CloudFleet, CpuModel};
+//! use core_map::core::CoreMapper;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let fleet = CloudFleet::with_seed(42);
+//! let instance = fleet.instance(CpuModel::Platinum8124M, 0)?;
+//! let mut machine = instance.boot();
+//! let map = CoreMapper::new().map(&mut machine)?;
+//! assert_eq!(map.core_count(), 18);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use coremap_core as core;
+pub use coremap_fleet as fleet;
+pub use coremap_ilp as ilp;
+pub use coremap_mesh as mesh;
+pub use coremap_thermal as thermal;
+pub use coremap_uncore as uncore;

@@ -1,0 +1,133 @@
+//! Integration: the full attack chain — map the machine, plan placement
+//! from the recovered map, transmit through the thermal substrate.
+
+use core_map::core::CoreMapper;
+use core_map::fleet::{CloudFleet, CpuModel};
+use core_map::mesh::OsCoreId;
+use core_map::thermal::encoding::{bits_to_bytes, bytes_to_bits};
+use core_map::thermal::power::ThermalNoise;
+use core_map::thermal::sensor::TempSensor;
+use core_map::thermal::{run_multi_channel, ChannelConfig, ThermalParams, ThermalSim};
+
+fn mapped_instance() -> (core_map::fleet::CloudInstance, core_map::core::CoreMap) {
+    let fleet = CloudFleet::with_seed(2022);
+    let instance = fleet
+        .instance(CpuModel::Platinum8259CL, 0)
+        .expect("instance 0");
+    let mut machine = instance.boot();
+    let map = CoreMapper::new().map(&mut machine).expect("maps");
+    (instance, map)
+}
+
+fn vertical_pair(map: &core_map::core::CoreMap) -> (OsCoreId, OsCoreId) {
+    (0..map.core_count() as u16)
+        .map(OsCoreId::new)
+        .find_map(|rx| map.vertical_neighbor_cores(rx).first().map(|&tx| (tx, rx)))
+        .expect("vertical pair on recovered map")
+}
+
+#[test]
+fn message_crosses_the_die_intact() {
+    let (instance, map) = mapped_instance();
+    let (tx, rx) = vertical_pair(&map);
+    let message = b"moon";
+    let bits = bytes_to_bits(message);
+    let tiles = instance.floorplan().dim().tile_count();
+    let mut sim = ThermalSim::new(instance.floorplan().clone(), ThermalParams::default(), 3)
+        .with_noise(ThermalNoise::cloud(tiles));
+    let report = ChannelConfig::new(vec![tx], rx, 2.0).transfer(&mut sim, &bits);
+    assert_eq!(
+        bits_to_bytes(&report.decoded),
+        message,
+        "BER {}",
+        report.ber()
+    );
+}
+
+#[test]
+fn map_guided_placement_beats_blind_placement() {
+    // The paper's motivation for mapping at all: lstopo-style consecutive
+    // IDs are rarely physical neighbours. Compare the channel the map
+    // recommends against a blind "adjacent OS IDs" channel, averaged over
+    // a few ID choices.
+    let (instance, map) = mapped_instance();
+    let (tx, rx) = vertical_pair(&map);
+    let bits = core_map::thermal::encoding::bytes_to_bits(b"q1");
+    let tiles = instance.floorplan().dim().tile_count();
+
+    let mut sim = ThermalSim::new(instance.floorplan().clone(), ThermalParams::default(), 4)
+        .with_noise(ThermalNoise::cloud(tiles));
+    let guided = ChannelConfig::new(vec![tx], rx, 4.0).transfer(&mut sim, &bits);
+
+    let mut blind_errors = 0usize;
+    let mut blind_bits = 0usize;
+    for first in [0u16, 5, 9] {
+        let a = OsCoreId::new(first);
+        let b = OsCoreId::new(first + 1);
+        let mut sim = ThermalSim::new(instance.floorplan().clone(), ThermalParams::default(), 4)
+            .with_noise(ThermalNoise::cloud(tiles));
+        let r = ChannelConfig::new(vec![a], b, 4.0).transfer(&mut sim, &bits);
+        blind_errors += r.errors;
+        blind_bits += r.bits;
+    }
+    let blind_ber = blind_errors as f64 / blind_bits as f64;
+    assert!(
+        guided.ber() <= blind_ber,
+        "guided {} vs blind {}",
+        guided.ber(),
+        blind_ber
+    );
+}
+
+#[test]
+fn multi_channel_attack_from_recovered_map() {
+    let (instance, map) = mapped_instance();
+    // Two disjoint vertical pairs from the recovered map.
+    let mut pairs: Vec<(OsCoreId, OsCoreId)> = Vec::new();
+    let mut used = Vec::new();
+    for rx in (0..map.core_count() as u16).map(OsCoreId::new) {
+        if used.contains(&rx) {
+            continue;
+        }
+        if let Some(&tx) = map
+            .vertical_neighbor_cores(rx)
+            .iter()
+            .find(|t| !used.contains(*t))
+        {
+            pairs.push((tx, rx));
+            used.extend([tx, rx]);
+            if pairs.len() == 2 {
+                break;
+            }
+        }
+    }
+    assert_eq!(pairs.len(), 2);
+    let channels: Vec<ChannelConfig> = pairs
+        .iter()
+        .map(|&(tx, rx)| ChannelConfig::new(vec![tx], rx, 1.0))
+        .collect();
+    let payloads = vec![bytes_to_bits(b"aa"), bytes_to_bits(b"bb")];
+    let mut sim = ThermalSim::new(instance.floorplan().clone(), ThermalParams::default(), 8);
+    let report = run_multi_channel(&mut sim, &channels, &payloads);
+    assert!((report.aggregate_rate_bps() - 2.0).abs() < 1e-9);
+    assert!(
+        report.aggregate_ber() < 0.15,
+        "ber {}",
+        report.aggregate_ber()
+    );
+}
+
+#[test]
+fn coarse_sensor_defense_blocks_the_channel() {
+    let (instance, map) = mapped_instance();
+    let (tx, rx) = vertical_pair(&map);
+    let bits = core_map::thermal::encoding::bytes_to_bits(b"leak me");
+    let mut sim = ThermalSim::new(instance.floorplan().clone(), ThermalParams::default(), 6)
+        .with_sensor(TempSensor::degraded(8.0, 50.0));
+    let report = ChannelConfig::new(vec![tx], rx, 2.0).transfer(&mut sim, &bits);
+    assert!(
+        report.ber() > 0.25,
+        "8 C quantization should destroy the channel, got {}",
+        report.ber()
+    );
+}

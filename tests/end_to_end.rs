@@ -1,0 +1,117 @@
+//! End-to-end integration: fleet instance -> machine -> full mapping
+//! pipeline -> verification, across all four CPU models.
+
+use core_map::core::{verify, CoreMapper};
+use core_map::fleet::{CloudFleet, CpuModel, MapRegistry};
+use core_map::mesh::OsCoreId;
+
+#[test]
+fn maps_every_model_accurately() {
+    let fleet = CloudFleet::with_seed(2022);
+    for model in CpuModel::ALL {
+        let instance = fleet.instance(model, 0).expect("instance 0");
+        let mut machine = instance.boot();
+        let (map, diagnostics) = CoreMapper::new()
+            .map_with_diagnostics(&mut machine)
+            .expect("pipeline succeeds");
+
+        assert_eq!(map.core_count(), model.core_count(), "{model}");
+        assert_eq!(map.cha_count(), model.cha_count(), "{model}");
+        assert_eq!(map.ppin(), Some(instance.ppin()), "{model}");
+
+        let truth = instance.floorplan();
+        // The recovered OS-core<->CHA mapping and LLC-only set are exact.
+        assert_eq!(map.core_to_cha(), truth.core_to_cha(), "{model}");
+        assert_eq!(map.llc_only(), truth.llc_only_chas(), "{model}");
+        // Placement: the recovered map must explain every measured
+        // observation (the exact guarantee the ILP gives), and sparse dies
+        // may additionally contain tiles whose position is physically
+        // unobservable (Sec. II-D), so pairwise accuracy is checked
+        // against a high-but-not-perfect bar.
+        let positions: Vec<_> = truth.chas().map(|c| map.coord_of_cha(c)).collect();
+        assert!(
+            verify::observations_consistent(&positions, &diagnostics.observations, map.dim()),
+            "{model}: map does not explain its own observations"
+        );
+        let acc = verify::pairwise_accuracy(&positions, truth);
+        assert!(acc > 0.9, "{model}: pairwise accuracy {acc}");
+    }
+}
+
+#[test]
+fn dense_skx_instance_matches_exactly() {
+    // The full-die case has no hidden tiles, so recovery is exact (up to
+    // the documented mirror).
+    let plan = core_map::mesh::FloorplanBuilder::new(core_map::mesh::DieTemplate::SkylakeXcc)
+        .build()
+        .expect("full die");
+    let truth = plan.clone();
+    let mut machine =
+        core_map::uncore::XeonMachine::new(plan, core_map::uncore::MachineConfig::default());
+    let map = CoreMapper::new()
+        .map(&mut machine)
+        .expect("pipeline succeeds");
+    assert!(verify::matches_exactly(&map, &truth));
+}
+
+#[test]
+fn registry_round_trips_recovered_maps() {
+    let fleet = CloudFleet::with_seed(5);
+    let mut registry = MapRegistry::new();
+    let mut ppins = Vec::new();
+    for idx in 0..2 {
+        let instance = fleet
+            .instance(CpuModel::Platinum8124M, idx)
+            .expect("instance");
+        let mut machine = instance.boot();
+        let map = CoreMapper::new().map(&mut machine).expect("maps");
+        ppins.push(instance.ppin());
+        assert!(registry.insert(map));
+    }
+    let mut json = Vec::new();
+    registry.save(&mut json).expect("serializes");
+    let loaded = MapRegistry::load(json.as_slice()).expect("deserializes");
+    assert_eq!(loaded.len(), 2);
+    for ppin in ppins {
+        let map = loaded.get(ppin).expect("registered map");
+        assert_eq!(map.ppin(), Some(ppin));
+    }
+}
+
+#[test]
+fn recovered_map_supports_attack_planning() {
+    let fleet = CloudFleet::with_seed(2022);
+    let instance = fleet
+        .instance(CpuModel::Platinum8175M, 0)
+        .expect("instance");
+    let mut machine = instance.boot();
+    let map = CoreMapper::new().map(&mut machine).expect("maps");
+
+    // Neighbour queries must agree with ground truth adjacency for every
+    // core (this is what the thermal attack consumes).
+    let truth = instance.floorplan();
+    for core in (0..map.core_count() as u16).map(OsCoreId::new) {
+        let recovered: usize = map.neighbor_cores(core).len();
+        let tc = truth.coord_of_core(core);
+        let actual = truth
+            .cores()
+            .filter(|&c| c != core && truth.coord_of_core(c).hop_distance(tc) == 1)
+            .count();
+        assert_eq!(recovered, actual, "cpu{} neighbour count", core.index());
+    }
+}
+
+#[test]
+fn unprivileged_tenant_cannot_map() {
+    let fleet = CloudFleet::with_seed(2022);
+    let instance = fleet
+        .instance(CpuModel::Platinum8124M, 1)
+        .expect("instance");
+    let mut machine = instance.boot();
+    machine.set_privileged(false);
+    let err = CoreMapper::new().map(&mut machine).unwrap_err();
+    assert!(matches!(
+        err,
+        core_map::core::MapError::Msr(core_map::uncore::MsrError::PermissionDenied)
+    ));
+}

@@ -1,0 +1,59 @@
+//! Integration: forward error correction over the real thermal substrate.
+
+use core_map::core::CoreMapper;
+use core_map::fleet::{CloudFleet, CpuModel};
+use core_map::mesh::{Direction, OsCoreId};
+use core_map::thermal::fec::{coded_transfer, Hamming74, Interleaved};
+use core_map::thermal::power::ThermalNoise;
+use core_map::thermal::{ChannelConfig, ThermalParams, ThermalSim};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn pair_at(map: &core_map::core::CoreMap, hops: usize) -> (OsCoreId, OsCoreId) {
+    let cores: Vec<OsCoreId> = (0..map.core_count() as u16).map(OsCoreId::new).collect();
+    let _ = Direction::Up;
+    cores
+        .iter()
+        .flat_map(|&a| cores.iter().map(move |&b| (a, b)))
+        .find(|&(a, b)| {
+            a != b && {
+                let (ca, cb) = (map.coord_of_core(a), map.coord_of_core(b));
+                ca.col == cb.col && ca.row.abs_diff(cb.row) == hops
+            }
+        })
+        .expect("pair exists")
+}
+
+#[test]
+fn interleaved_hamming_repairs_a_marginal_channel() {
+    let fleet = CloudFleet::with_seed(2022);
+    let instance = fleet
+        .instance(CpuModel::Platinum8259CL, 0)
+        .expect("instance 0");
+    let mut machine = instance.boot();
+    let map = CoreMapper::new().map(&mut machine).expect("maps");
+    let (tx, rx) = pair_at(&map, 2); // 2-hop: marginal raw channel
+
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let payload: Vec<bool> = (0..240).map(|_| rng.gen()).collect();
+    let tiles = instance.floorplan().dim().tile_count();
+    let channel = ChannelConfig::new(vec![tx], rx, 2.0);
+
+    let mut raw_sim = ThermalSim::new(instance.floorplan().clone(), ThermalParams::default(), 5)
+        .with_noise(ThermalNoise::cloud(tiles));
+    let raw = channel.transfer(&mut raw_sim, &payload);
+
+    let code = Interleaved::new(Hamming74::new(), 24);
+    let mut fec_sim = ThermalSim::new(instance.floorplan().clone(), ThermalParams::default(), 5)
+        .with_noise(ThermalNoise::cloud(tiles));
+    let (coded_ber, goodput) = coded_transfer(&code, &channel, &mut fec_sim, &payload);
+
+    assert!(
+        coded_ber <= raw.ber(),
+        "FEC must not worsen the channel: {coded_ber} vs {}",
+        raw.ber()
+    );
+    assert!(goodput > 0.0);
+    // The coded stream pays a rate penalty.
+    assert!(goodput < channel.bit_rate);
+}

@@ -1,0 +1,90 @@
+//! Integration: the measurement pipeline under background mesh noise
+//! (co-tenant traffic on a shared cloud host).
+
+use core_map::core::{verify, CoreMapper, MapperConfig};
+use core_map::mesh::{DieTemplate, FloorplanBuilder, TileCoord};
+use core_map::uncore::{MachineConfig, NoiseModel, XeonMachine};
+
+fn noisy_machine(noise: NoiseModel, seed: u64) -> (XeonMachine, core_map::mesh::Floorplan) {
+    let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+        .disable(TileCoord::new(0, 2))
+        .disable(TileCoord::new(3, 4))
+        .build()
+        .expect("floorplan");
+    let truth = plan.clone();
+    let machine = XeonMachine::new(
+        plan,
+        MachineConfig {
+            noise,
+            noise_seed: seed,
+            ..MachineConfig::default()
+        },
+    );
+    (machine, truth)
+}
+
+#[test]
+fn light_noise_does_not_disturb_the_map() {
+    let (mut machine, truth) = noisy_machine(NoiseModel::light(), 1);
+    let cfg = MapperConfig {
+        probe_iters: 16,
+        thrash_rounds: 6,
+        ping_iters: 32,
+        ..MapperConfig::default()
+    };
+    let map = CoreMapper::with_config(cfg)
+        .map(&mut machine)
+        .expect("maps");
+    assert!(verify::matches_relative(&map, &truth));
+}
+
+#[test]
+fn busy_noise_needs_longer_measurements() {
+    let (mut machine, truth) = noisy_machine(NoiseModel::busy(), 2);
+    // Default (short) measurement windows may or may not survive; the
+    // robust configuration with 4x the iterations must.
+    let cfg = MapperConfig {
+        probe_iters: 48,
+        thrash_rounds: 16,
+        ping_iters: 96,
+        ..MapperConfig::default()
+    };
+    let map = CoreMapper::with_config(cfg)
+        .map(&mut machine)
+        .expect("maps");
+    assert!(verify::matches_relative(&map, &truth));
+}
+
+#[test]
+fn extreme_noise_fails_loudly_not_wrongly() {
+    // With absurd noise and minimal iterations the pipeline must either
+    // produce a correct map or report an error - never silently return a
+    // wrong mapping of step 1 (the ambiguity check).
+    let (mut machine, truth) = noisy_machine(
+        NoiseModel {
+            transfers_per_op: 8.0,
+        },
+        3,
+    );
+    let cfg = MapperConfig {
+        probe_iters: 2,
+        thrash_rounds: 1,
+        ping_iters: 4,
+        ..MapperConfig::default()
+    };
+    match CoreMapper::with_config(cfg).map(&mut machine) {
+        Ok(map) => {
+            assert_eq!(map.core_to_cha(), truth.core_to_cha());
+        }
+        Err(e) => {
+            // Acceptable failure modes: ambiguity or ILP infeasibility.
+            let msg = e.to_string();
+            assert!(
+                msg.contains("unambiguous")
+                    || msg.contains("infeasible")
+                    || msg.contains("inconsistent"),
+                "unexpected error {msg}"
+            );
+        }
+    }
+}
