@@ -9,10 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::Mutex;
-
 use coremap_core::{CoreMap, CoreMapper};
-use coremap_fleet::{CloudFleet, CloudInstance, CpuModel};
+use coremap_fleet::{CloudFleet, CloudInstance, CpuModel, FleetRunner};
 use coremap_mesh::{Direction, OsCoreId};
 use coremap_thermal::power::ThermalNoise;
 use coremap_thermal::{ThermalParams, ThermalSim};
@@ -86,87 +84,60 @@ impl Options {
     }
 }
 
-/// Maps `count` instances of `model` with a worker pool, returning
-/// `(instance, recovered map)` pairs in instance order.
+/// Maps `count` instances of `model` with the shared [`FleetRunner`] pool,
+/// returning `(instance, recovered map)` pairs in instance order.
 ///
-/// # Panics
-///
-/// Panics if any instance fails to map — on the quiet simulated fleet that
-/// indicates a pipeline bug, which an experiment must not silently absorb.
+/// Instances that fail to map are skipped and counted on stderr — on the
+/// quiet simulated fleet a non-zero count indicates a pipeline bug, but a
+/// single bad instance no longer aborts a whole campaign.
 pub fn map_fleet(
     fleet: &CloudFleet,
     model: CpuModel,
     count: usize,
     workers: usize,
 ) -> Vec<(CloudInstance, CoreMap)> {
-    let queue: Mutex<Vec<usize>> = Mutex::new((0..count).rev().collect());
-    let results: Mutex<Vec<Option<(CloudInstance, CoreMap)>>> =
-        Mutex::new((0..count).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..workers.max(1) {
-            scope.spawn(|| loop {
-                let idx = match queue.lock().expect("queue lock").pop() {
-                    Some(i) => i,
-                    None => break,
-                };
-                let instance = fleet.instance(model, idx).expect("index below population");
-                let mut machine = instance.boot();
-                let map = CoreMapper::new()
-                    .map(&mut machine)
-                    .unwrap_or_else(|e| panic!("mapping {model} #{idx} failed: {e}"))
-                    .with_template(model.template());
-                results.lock().expect("results lock")[idx] = Some((instance, map));
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("results lock")
-        .into_iter()
-        .map(|r| r.expect("every index mapped"))
-        .collect()
+    let outcome = FleetRunner::new(workers).map_instances(
+        fleet,
+        model,
+        count,
+        &CoreMapper::new(),
+        CloudInstance::boot,
+    );
+    report_skipped(model, &outcome);
+    outcome.into_successes()
 }
 
 /// Runs only step 1 of the methodology (eviction sets + CHA discovery) for
 /// `count` instances — all that Table I needs, much cheaper than the full
-/// pipeline.
-///
-/// # Panics
-///
-/// As for [`map_fleet`].
+/// pipeline. Failing instances are skipped and counted as for
+/// [`map_fleet`].
 pub fn cha_map_fleet(
     fleet: &CloudFleet,
     model: CpuModel,
     count: usize,
     workers: usize,
 ) -> Vec<(CloudInstance, coremap_core::cha_map::ChaMapping)> {
-    let queue: Mutex<Vec<usize>> = Mutex::new((0..count).rev().collect());
-    let results: Mutex<Vec<Option<(CloudInstance, coremap_core::cha_map::ChaMapping)>>> =
-        Mutex::new((0..count).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..workers.max(1) {
-            scope.spawn(|| loop {
-                let idx = match queue.lock().expect("queue lock").pop() {
-                    Some(i) => i,
-                    None => break,
-                };
-                let instance = fleet.instance(model, idx).expect("index below population");
-                let mut machine = instance.boot();
-                let mut rng = ChaCha8Rng::seed_from_u64(0x6d61_7070);
-                let sets = coremap_core::eviction::build_all_sets(&mut machine, &mut rng, 8)
-                    .unwrap_or_else(|e| panic!("eviction sets {model} #{idx}: {e}"));
-                let mapping = coremap_core::cha_map::discover(&mut machine, &sets, 3)
-                    .unwrap_or_else(|e| panic!("cha map {model} #{idx}: {e}"));
-                results.lock().expect("results lock")[idx] = Some((instance, mapping));
-            });
-        }
+    let outcome = FleetRunner::new(workers).run(fleet, model, count, |instance| {
+        let mut machine = instance.boot();
+        let mut rng = ChaCha8Rng::seed_from_u64(0x6d61_7070);
+        let sets = coremap_core::eviction::build_all_sets(&mut machine, &mut rng, 8)?;
+        coremap_core::cha_map::discover(&mut machine, &sets, 3)
     });
-    results
-        .into_inner()
-        .expect("results lock")
-        .into_iter()
-        .map(|r| r.expect("every index mapped"))
-        .collect()
+    report_skipped(model, &outcome);
+    outcome.into_successes()
+}
+
+fn report_skipped<T, E: std::fmt::Display>(
+    model: CpuModel,
+    outcome: &coremap_fleet::FleetOutcome<T, E>,
+) {
+    for (instance, error) in outcome.failures() {
+        eprintln!("skipping {model} #{}: {error}", instance.index());
+    }
+    let skipped = outcome.failure_count();
+    if skipped > 0 {
+        eprintln!("{model}: {skipped} instance(s) skipped");
+    }
 }
 
 /// Prints a monospace table.

@@ -27,6 +27,7 @@ COMMAND OPTIONS:
     show:     --registry <FILE>     registry to read (required)
               --ppin <HEX>          render only this chip
     fleet:    --instances <N>       instances to survey [default: 10]
+              --workers <N>         mapping worker threads [default: all cores]
     channel:  --message <TEXT>      payload              [default: hello]
               --rate <BPS>          bit rate             [default: 2]
               --senders <N>         sender count         [default: 1]
@@ -49,6 +50,7 @@ pub enum Command {
         model: CpuModel,
         instances: usize,
         seed: u64,
+        workers: Option<usize>,
     },
     /// Thermal covert channel transfer.
     Channel {
@@ -105,6 +107,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut registry: Option<String> = None;
     let mut ppin: Option<u64> = None;
     let mut instances = 10usize;
+    let mut workers: Option<usize> = None;
     let mut message = "hello".to_owned();
     let mut rate = 2.0f64;
     let mut senders = 1usize;
@@ -142,6 +145,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .parse()
                     .map_err(|_| "--instances must be a number".to_string())?
             }
+            "--workers" => {
+                workers = Some(
+                    o.value("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers must be a number".to_string())?,
+                )
+            }
             "--message" => message = o.value("--message")?,
             "--rate" => {
                 rate = o
@@ -174,6 +184,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             model,
             instances,
             seed,
+            workers,
         }),
         "channel" => Ok(Command::Channel {
             model,
@@ -246,6 +257,24 @@ mod tests {
                 ppin: Some(0xABC)
             }
         );
+    }
+
+    #[test]
+    fn fleet_parses_workers() {
+        let cmd = parse(&argv("fleet --model 6354 --instances 4 --workers 3")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Fleet {
+                model: CpuModel::Gold6354,
+                instances: 4,
+                seed: 2022,
+                workers: Some(3)
+            }
+        );
+        assert!(matches!(
+            parse(&argv("fleet")).unwrap(),
+            Command::Fleet { workers: None, .. }
+        ));
     }
 
     #[test]

@@ -5,8 +5,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 use coremap_core::{verify, CoreMapper};
-use coremap_fleet::stats::{IdMappingStats, PatternStats};
-use coremap_fleet::{CloudFleet, CpuModel, MapRegistry};
+use coremap_fleet::{CloudFleet, CloudInstance, CpuModel, FleetRunner, MapRegistry, SurveyStats};
 use coremap_mesh::{OsCoreId, Ppin};
 use coremap_thermal::encoding::{bits_to_bytes, bytes_to_bits};
 use coremap_thermal::power::ThermalNoise;
@@ -34,7 +33,8 @@ pub fn run(cmd: Command) -> CliResult {
             model,
             instances,
             seed,
-        } => fleet_survey(model, instances, seed),
+            workers,
+        } => fleet_survey(model, instances, seed, workers),
         Command::Channel {
             model,
             index,
@@ -108,28 +108,39 @@ fn show(registry: &str, ppin: Option<u64>) -> CliResult {
     Ok(())
 }
 
-fn fleet_survey(model: CpuModel, instances: usize, seed: u64) -> CliResult {
-    let _fleet = CloudFleet::with_seed(seed);
+fn fleet_survey(model: CpuModel, instances: usize, seed: u64, workers: Option<usize>) -> CliResult {
+    let fleet = CloudFleet::with_seed(seed);
     let count = instances.min(model.paper_population());
-    let mut patterns = PatternStats::new();
-    let mut ids = IdMappingStats::new();
-    let mut verified = 0usize;
-    for index in 0..count {
-        let (instance, map) = map_instance(model, index, seed)?;
-        if verify::matches_relative(&map, instance.floorplan()) {
-            verified += 1;
-        }
-        patterns.record(&map);
-        ids.record(&map);
+    let runner = workers.map(FleetRunner::new).unwrap_or_default();
+    eprintln!(
+        "surveying {count} {model} instances on {} worker(s)...",
+        runner.workers()
+    );
+    let outcome = runner.map_instances(
+        &fleet,
+        model,
+        count,
+        &CoreMapper::new(),
+        CloudInstance::boot,
+    );
+    for (instance, error) in outcome.failures() {
+        eprintln!("  instance #{} failed to map: {error}", instance.index());
     }
+    let stats = SurveyStats::collect(&outcome);
     println!("{model}: {count} instances surveyed");
     println!(
         "  distinct location patterns: {}",
-        patterns.unique_patterns()
+        stats.patterns.unique_patterns()
     );
-    println!("  top frequencies: {:?}", patterns.top_counts(4));
-    println!("  distinct ID mappings: {}", ids.unique_mappings());
-    println!("  exact relative matches vs ground truth: {verified}/{count}");
+    println!("  top frequencies: {:?}", stats.patterns.top_counts(4));
+    println!("  distinct ID mappings: {}", stats.ids.unique_mappings());
+    println!(
+        "  exact relative matches vs ground truth: {}/{}",
+        stats.verified, stats.mapped
+    );
+    if stats.failed > 0 {
+        println!("  failed instances: {}", stats.failed);
+    }
     Ok(())
 }
 

@@ -1,0 +1,196 @@
+//! The fault-injection backend: deterministic measurement perturbation.
+
+use std::cell::{Cell, RefCell};
+
+use coremap_mesh::{ChaId, GridDim, OsCoreId};
+use coremap_uncore::msr::{decode_cha_msr, ChaRegister};
+use coremap_uncore::{MsrError, PhysAddr};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use super::MachineBackend;
+
+/// What to break, how often, and from which seed.
+///
+/// Probabilities are per affected operation; all injection draws come from
+/// one seeded stream, so a plan reproduces the same fault pattern on every
+/// run — a failing robustness experiment can be replayed exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that an MSR access (read or write) fails with
+    /// [`MsrError::PermissionDenied`], modelling a racing `msr` module
+    /// unload or a revoked capability.
+    pub msr_fail_prob: f64,
+    /// Probability that a PMON *counter* read is dropped and observed as 0,
+    /// modelling a counter overflowing or being cleared mid-experiment.
+    pub counter_drop_prob: f64,
+    /// Maximum additive jitter on PMON counter readouts, modelling
+    /// background mesh traffic the experiment window did not exclude.
+    pub counter_jitter: u64,
+    /// Seed of the injection stream.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — `FaultyBackend` degenerates to a
+    /// transparent wrapper.
+    pub fn none(seed: u64) -> Self {
+        Self {
+            msr_fail_prob: 0.0,
+            counter_drop_prob: 0.0,
+            counter_jitter: 0,
+            seed,
+        }
+    }
+
+    /// Sets the MSR failure probability.
+    pub fn with_msr_fail_prob(mut self, p: f64) -> Self {
+        self.msr_fail_prob = p;
+        self
+    }
+
+    /// Sets the counter-drop probability.
+    pub fn with_counter_drop_prob(mut self, p: f64) -> Self {
+        self.counter_drop_prob = p;
+        self
+    }
+
+    /// Sets the maximum counter jitter.
+    pub fn with_counter_jitter(mut self, jitter: u64) -> Self {
+        self.counter_jitter = jitter;
+        self
+    }
+}
+
+/// Wraps any backend and injects seeded, deterministic faults into the
+/// operations crossing the trait: failing MSR accesses, dropped PMON
+/// counter reads, jittered counter readouts.
+///
+/// Structural queries (geometry, core enumeration) and cache-line
+/// operations pass through untouched — the paper's noise sources live in
+/// the *measurement* path, not in the machine's shape.
+#[derive(Debug)]
+pub struct FaultyBackend<B> {
+    inner: B,
+    plan: FaultPlan,
+    // `read_msr` takes `&self`; the injection stream must still advance.
+    rng: RefCell<ChaCha8Rng>,
+    injected: Cell<u64>,
+}
+
+impl<B: MachineBackend> FaultyBackend<B> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: B, plan: FaultPlan) -> Self {
+        let rng = ChaCha8Rng::seed_from_u64(plan.seed);
+        Self {
+            inner,
+            plan,
+            rng: RefCell::new(rng),
+            injected: Cell::new(0),
+        }
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected_faults(&self) -> u64 {
+        self.injected.get()
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Consumes the wrapper, returning the inner backend.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    fn inject(&self) {
+        self.injected.set(self.injected.get() + 1);
+    }
+
+    fn roll(&self, prob: f64) -> bool {
+        prob > 0.0 && self.rng.borrow_mut().gen_bool(prob)
+    }
+}
+
+impl<B: MachineBackend> MachineBackend for FaultyBackend<B> {
+    fn read_msr(&self, addr: u32) -> Result<u64, MsrError> {
+        if self.roll(self.plan.msr_fail_prob) {
+            self.inject();
+            return Err(MsrError::PermissionDenied);
+        }
+        let value = self.inner.read_msr(addr)?;
+        // Only PMON counter registers carry measurement data worth
+        // perturbing; control registers and the PPIN stay exact.
+        if let Some((_, ChaRegister::Counter(_))) = decode_cha_msr(addr) {
+            if self.roll(self.plan.counter_drop_prob) {
+                self.inject();
+                return Ok(0);
+            }
+            if self.plan.counter_jitter > 0 {
+                let jitter = self
+                    .rng
+                    .borrow_mut()
+                    .gen_range(0..=self.plan.counter_jitter);
+                if jitter > 0 {
+                    self.inject();
+                }
+                return Ok(value.saturating_add(jitter));
+            }
+        }
+        Ok(value)
+    }
+
+    fn write_msr(&mut self, addr: u32, value: u64) -> Result<(), MsrError> {
+        if self.roll(self.plan.msr_fail_prob) {
+            self.inject();
+            return Err(MsrError::PermissionDenied);
+        }
+        self.inner.write_msr(addr, value)
+    }
+
+    fn cha_count(&self) -> usize {
+        self.inner.cha_count()
+    }
+
+    fn core_count(&self) -> usize {
+        self.inner.core_count()
+    }
+
+    fn os_cores(&self) -> Vec<OsCoreId> {
+        self.inner.os_cores()
+    }
+
+    fn grid_dim(&self) -> GridDim {
+        self.inner.grid_dim()
+    }
+
+    fn l2_geometry(&self) -> (usize, usize) {
+        self.inner.l2_geometry()
+    }
+
+    fn address_space(&self) -> u64 {
+        self.inner.address_space()
+    }
+
+    fn home_of(&self, pa: PhysAddr) -> ChaId {
+        self.inner.home_of(pa)
+    }
+
+    fn write_line(&mut self, core: OsCoreId, pa: PhysAddr) {
+        self.inner.write_line(core, pa);
+    }
+
+    fn read_line(&mut self, core: OsCoreId, pa: PhysAddr) {
+        self.inner.read_line(core, pa);
+    }
+
+    fn flush_caches(&mut self) {
+        self.inner.flush_caches();
+    }
+
+    fn op_count(&self) -> u64 {
+        self.inner.op_count()
+    }
+}

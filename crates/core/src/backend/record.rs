@@ -1,0 +1,169 @@
+//! The recording backend: transparent operation capture.
+
+use std::cell::RefCell;
+
+use coremap_mesh::{ChaId, GridDim, OsCoreId};
+use coremap_uncore::{MsrError, PhysAddr};
+
+use super::{MachineBackend, MachineGeometry, MeasurementTrace, TraceOp};
+
+/// Wraps any backend and logs every operation crossing the
+/// [`MachineBackend`] trait into a [`MeasurementTrace`].
+///
+/// The wrapper is behaviourally transparent: each call is forwarded to the
+/// inner backend and its *actual* response (including errors) is recorded,
+/// so a pipeline run over `RecordingBackend<B>` produces the same result
+/// as one over `B` — plus a replayable trace.
+///
+/// ```
+/// use coremap_core::backend::{MachineBackend, RecordingBackend};
+/// use coremap_mesh::{DieTemplate, FloorplanBuilder};
+/// use coremap_uncore::{MachineConfig, XeonMachine};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc).build()?;
+/// let machine = XeonMachine::new(plan, MachineConfig::default());
+/// let mut recorder = RecordingBackend::new(machine);
+/// recorder.read_msr(coremap_uncore::msr::MSR_PPIN)?;
+/// let (_machine, trace) = recorder.into_parts();
+/// assert_eq!(trace.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct RecordingBackend<B> {
+    inner: B,
+    // `read_msr` and `home_of` take `&self`, so the log needs interior
+    // mutability; the wrapper is single-threaded like any backend.
+    ops: RefCell<Vec<TraceOp>>,
+}
+
+impl<B: MachineBackend> RecordingBackend<B> {
+    /// Starts recording on top of `inner`.
+    pub fn new(inner: B) -> Self {
+        Self {
+            inner,
+            ops: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Number of operations recorded so far.
+    pub fn recorded_ops(&self) -> usize {
+        self.ops.borrow().len()
+    }
+
+    /// Snapshots the trace recorded so far (geometry + operation log).
+    pub fn trace(&self) -> MeasurementTrace {
+        let dim = self.inner.grid_dim();
+        let (l2_sets, l2_ways) = self.inner.l2_geometry();
+        MeasurementTrace {
+            geometry: MachineGeometry {
+                cha_count: self.inner.cha_count(),
+                core_count: self.inner.core_count(),
+                os_cores: self
+                    .inner
+                    .os_cores()
+                    .iter()
+                    .map(|c| c.index() as u16)
+                    .collect(),
+                grid_rows: dim.rows,
+                grid_cols: dim.cols,
+                l2_sets,
+                l2_ways,
+                address_space: self.inner.address_space(),
+            },
+            ops: self.ops.borrow().clone(),
+        }
+    }
+
+    /// Consumes the wrapper, returning the inner backend and the trace.
+    pub fn into_parts(self) -> (B, MeasurementTrace) {
+        let trace = self.trace();
+        (self.inner, trace)
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    fn log(&self, op: TraceOp) {
+        self.ops.borrow_mut().push(op);
+    }
+}
+
+impl<B: MachineBackend> MachineBackend for RecordingBackend<B> {
+    fn read_msr(&self, addr: u32) -> Result<u64, MsrError> {
+        let result = self.inner.read_msr(addr);
+        self.log(TraceOp::ReadMsr { addr, result });
+        result
+    }
+
+    fn write_msr(&mut self, addr: u32, value: u64) -> Result<(), MsrError> {
+        let result = self.inner.write_msr(addr, value);
+        self.log(TraceOp::WriteMsr {
+            addr,
+            value,
+            result,
+        });
+        result
+    }
+
+    fn cha_count(&self) -> usize {
+        self.inner.cha_count()
+    }
+
+    fn core_count(&self) -> usize {
+        self.inner.core_count()
+    }
+
+    fn os_cores(&self) -> Vec<OsCoreId> {
+        self.inner.os_cores()
+    }
+
+    fn grid_dim(&self) -> GridDim {
+        self.inner.grid_dim()
+    }
+
+    fn l2_geometry(&self) -> (usize, usize) {
+        self.inner.l2_geometry()
+    }
+
+    fn address_space(&self) -> u64 {
+        self.inner.address_space()
+    }
+
+    fn home_of(&self, pa: PhysAddr) -> ChaId {
+        let cha = self.inner.home_of(pa);
+        self.log(TraceOp::HomeOf {
+            pa: pa.value(),
+            cha: cha.index() as u16,
+        });
+        cha
+    }
+
+    fn write_line(&mut self, core: OsCoreId, pa: PhysAddr) {
+        self.log(TraceOp::WriteLine {
+            core: core.index() as u16,
+            pa: pa.value(),
+        });
+        self.inner.write_line(core, pa);
+    }
+
+    fn read_line(&mut self, core: OsCoreId, pa: PhysAddr) {
+        self.log(TraceOp::ReadLine {
+            core: core.index() as u16,
+            pa: pa.value(),
+        });
+        self.inner.read_line(core, pa);
+    }
+
+    fn flush_caches(&mut self) {
+        self.log(TraceOp::FlushCaches);
+        self.inner.flush_caches();
+    }
+
+    fn op_count(&self) -> u64 {
+        self.inner.op_count()
+    }
+}

@@ -1,0 +1,181 @@
+//! The replay backend: re-running the pipeline from a recorded trace.
+
+use std::cell::Cell;
+
+use coremap_mesh::{ChaId, GridDim, OsCoreId};
+use coremap_uncore::{MsrError, PhysAddr};
+
+use super::{MachineBackend, MeasurementTrace, TraceOp};
+
+/// Re-executes a recorded [`MeasurementTrace`] with *zero* simulation
+/// behind it: every query answers from the recorded geometry, every
+/// stateful operation is matched against the next logged [`TraceOp`] and
+/// answered with the recorded response.
+///
+/// Because the pipeline is deterministic given the machine's responses, a
+/// pipeline run over a replayed trace reproduces the original run
+/// bit-for-bit — the record → replay workflow for debugging a mapping
+/// campaign offline.
+///
+/// # Panics
+///
+/// Any divergence between what the pipeline asks and what the trace holds
+/// (different operation, different operands, or trace exhaustion) panics
+/// with the operation index and both sides of the mismatch. A divergence
+/// means the pipeline logic changed since the trace was captured — exactly
+/// the loud failure wanted from a regression harness.
+#[derive(Debug, Clone)]
+pub struct ReplayBackend {
+    trace: MeasurementTrace,
+    // `read_msr` / `home_of` take `&self` but must advance the log.
+    cursor: Cell<usize>,
+}
+
+#[cold]
+fn divergence(at: usize, request: String, recorded: Option<&TraceOp>, total: usize) -> ! {
+    match recorded {
+        Some(op) => panic!(
+            "replay divergence at op {at}: pipeline issued {request} but the trace recorded {op:?}"
+        ),
+        None => panic!(
+            "replay divergence at op {at}: pipeline issued {request} but the trace is exhausted ({total} ops)"
+        ),
+    }
+}
+
+impl ReplayBackend {
+    /// Prepares a replay of `trace`, positioned before its first operation.
+    pub fn new(trace: MeasurementTrace) -> Self {
+        Self {
+            trace,
+            cursor: Cell::new(0),
+        }
+    }
+
+    /// Index of the next operation to be replayed.
+    pub fn position(&self) -> usize {
+        self.cursor.get()
+    }
+
+    /// Whether every recorded operation has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.cursor.get() >= self.trace.ops.len()
+    }
+
+    /// Advances the cursor, returning `(index, recorded op)`; `None` once
+    /// the trace is exhausted.
+    fn next_op(&self) -> (usize, Option<&TraceOp>) {
+        let at = self.cursor.get();
+        let op = self.trace.ops.get(at);
+        if op.is_some() {
+            self.cursor.set(at + 1);
+        }
+        (at, op)
+    }
+}
+
+impl MachineBackend for ReplayBackend {
+    fn read_msr(&self, addr: u32) -> Result<u64, MsrError> {
+        match self.next_op() {
+            (_, Some(TraceOp::ReadMsr { addr: a, result })) if *a == addr => *result,
+            (at, other) => divergence(
+                at,
+                format!("read_msr({addr:#x})"),
+                other,
+                self.trace.ops.len(),
+            ),
+        }
+    }
+
+    fn write_msr(&mut self, addr: u32, value: u64) -> Result<(), MsrError> {
+        match self.next_op() {
+            (
+                _,
+                Some(TraceOp::WriteMsr {
+                    addr: a,
+                    value: v,
+                    result,
+                }),
+            ) if *a == addr && *v == value => *result,
+            (at, other) => divergence(
+                at,
+                format!("write_msr({addr:#x}, {value:#x})"),
+                other,
+                self.trace.ops.len(),
+            ),
+        }
+    }
+
+    fn cha_count(&self) -> usize {
+        self.trace.geometry.cha_count
+    }
+
+    fn core_count(&self) -> usize {
+        self.trace.geometry.core_count
+    }
+
+    fn os_cores(&self) -> Vec<OsCoreId> {
+        self.trace
+            .geometry
+            .os_cores
+            .iter()
+            .map(|&c| OsCoreId::new(c))
+            .collect()
+    }
+
+    fn grid_dim(&self) -> GridDim {
+        GridDim::new(self.trace.geometry.grid_rows, self.trace.geometry.grid_cols)
+    }
+
+    fn l2_geometry(&self) -> (usize, usize) {
+        (self.trace.geometry.l2_sets, self.trace.geometry.l2_ways)
+    }
+
+    fn address_space(&self) -> u64 {
+        self.trace.geometry.address_space
+    }
+
+    fn home_of(&self, pa: PhysAddr) -> ChaId {
+        match self.next_op() {
+            (_, Some(TraceOp::HomeOf { pa: p, cha })) if *p == pa.value() => ChaId::new(*cha),
+            (at, other) => divergence(at, format!("home_of({pa})"), other, self.trace.ops.len()),
+        }
+    }
+
+    fn write_line(&mut self, core: OsCoreId, pa: PhysAddr) {
+        match self.next_op() {
+            (_, Some(TraceOp::WriteLine { core: c, pa: p }))
+                if *c as usize == core.index() && *p == pa.value() => {}
+            (at, other) => divergence(
+                at,
+                format!("write_line({core}, {pa})"),
+                other,
+                self.trace.ops.len(),
+            ),
+        }
+    }
+
+    fn read_line(&mut self, core: OsCoreId, pa: PhysAddr) {
+        match self.next_op() {
+            (_, Some(TraceOp::ReadLine { core: c, pa: p }))
+                if *c as usize == core.index() && *p == pa.value() => {}
+            (at, other) => divergence(
+                at,
+                format!("read_line({core}, {pa})"),
+                other,
+                self.trace.ops.len(),
+            ),
+        }
+    }
+
+    fn flush_caches(&mut self) {
+        match self.next_op() {
+            (_, Some(TraceOp::FlushCaches)) => {}
+            (at, other) => divergence(at, "flush_caches()".to_owned(), other, self.trace.ops.len()),
+        }
+    }
+
+    fn op_count(&self) -> u64 {
+        self.cursor.get() as u64
+    }
+}

@@ -1,0 +1,168 @@
+//! Serializable measurement traces.
+
+use coremap_uncore::MsrError;
+use serde::{Deserialize, Serialize};
+
+/// The static machine surface a backend reports: everything the pipeline
+/// can query without touching state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineGeometry {
+    /// Number of active CHAs.
+    pub cha_count: usize,
+    /// Number of OS-visible cores.
+    pub core_count: usize,
+    /// OS core IDs, ascending.
+    pub os_cores: Vec<u16>,
+    /// Tile-grid rows.
+    pub grid_rows: usize,
+    /// Tile-grid columns.
+    pub grid_cols: usize,
+    /// L2 sets.
+    pub l2_sets: usize,
+    /// L2 ways.
+    pub l2_ways: usize,
+    /// Usable physical address space in bytes.
+    pub address_space: u64,
+}
+
+/// One operation crossing the [`MachineBackend`](super::MachineBackend)
+/// trait, with enough detail to be replayed: the request *and* the
+/// machine's response.
+///
+/// Fields are raw primitives (`u32` addresses, `u64` physical addresses,
+/// `u16` core/CHA indices) so traces stay stable against newtype changes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceOp {
+    /// `read_msr(addr)` returned `result`.
+    ReadMsr {
+        /// MSR address.
+        addr: u32,
+        /// Recorded outcome.
+        result: Result<u64, MsrError>,
+    },
+    /// `write_msr(addr, value)` returned `result`.
+    WriteMsr {
+        /// MSR address.
+        addr: u32,
+        /// Value written.
+        value: u64,
+        /// Recorded outcome.
+        result: Result<(), MsrError>,
+    },
+    /// `write_line(core, pa)`.
+    WriteLine {
+        /// OS core index.
+        core: u16,
+        /// Physical address.
+        pa: u64,
+    },
+    /// `read_line(core, pa)`.
+    ReadLine {
+        /// OS core index.
+        core: u16,
+        /// Physical address.
+        pa: u64,
+    },
+    /// `flush_caches()`.
+    FlushCaches,
+    /// `home_of(pa)` returned `cha`.
+    HomeOf {
+        /// Physical address.
+        pa: u64,
+        /// Recorded home slice.
+        cha: u16,
+    },
+}
+
+/// A full recorded measurement campaign: the machine's static geometry
+/// plus every stateful operation the pipeline issued, in order.
+///
+/// Produced by [`RecordingBackend`](super::RecordingBackend), consumed by
+/// [`ReplayBackend`](super::ReplayBackend); serializes to JSON via
+/// `serde_json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementTrace {
+    /// Static machine surface.
+    pub geometry: MachineGeometry,
+    /// Ordered operation log.
+    pub ops: Vec<TraceOp>,
+}
+
+impl MeasurementTrace {
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no operations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> MeasurementTrace {
+        MeasurementTrace {
+            geometry: MachineGeometry {
+                cha_count: 4,
+                core_count: 3,
+                os_cores: vec![0, 1, 2],
+                grid_rows: 2,
+                grid_cols: 2,
+                l2_sets: 64,
+                l2_ways: 8,
+                address_space: 1 << 30,
+            },
+            ops: vec![
+                TraceOp::ReadMsr {
+                    addr: 0x4F,
+                    result: Ok(0xC0DE),
+                },
+                TraceOp::ReadMsr {
+                    addr: 0xDEAD,
+                    result: Err(MsrError::UnknownMsr { addr: 0xDEAD }),
+                },
+                TraceOp::WriteMsr {
+                    addr: 0xE01,
+                    value: 0x42,
+                    result: Ok(()),
+                },
+                TraceOp::WriteMsr {
+                    addr: 0x4F,
+                    value: 1,
+                    result: Err(MsrError::ReadOnly { addr: 0x4F }),
+                },
+                TraceOp::WriteLine {
+                    core: 1,
+                    pa: 0x1000,
+                },
+                TraceOp::ReadLine {
+                    core: 2,
+                    pa: 0x1000,
+                },
+                TraceOp::FlushCaches,
+                TraceOp::HomeOf { pa: 0x1000, cha: 3 },
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_round_trips_through_json() {
+        let trace = sample_trace();
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: MeasurementTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn every_op_variant_survives_pretty_json() {
+        let trace = sample_trace();
+        let json = serde_json::to_string_pretty(&trace).unwrap();
+        let back: MeasurementTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 8);
+        assert_eq!(back, trace);
+    }
+}

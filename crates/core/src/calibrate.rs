@@ -17,7 +17,7 @@ use rand::Rng;
 
 use crate::mapper::{CoreMapper, MapperConfig};
 use crate::traffic::{ObservationSet, PathObservation};
-use crate::{eviction, monitor, verify, CoreMap, MapError, MapTarget};
+use crate::{eviction, monitor, verify, CoreMap, MachineBackend, MapError};
 
 /// Measures the background ring traffic per machine operation: counters are
 /// armed, a window of cache *hits* (which generate no mesh traffic of their
@@ -27,7 +27,7 @@ use crate::{eviction, monitor, verify, CoreMap, MapError, MapTarget};
 /// # Errors
 ///
 /// Propagates MSR failures.
-pub fn measure_noise_floor<T: MapTarget>(
+pub fn measure_noise_floor<T: MachineBackend>(
     machine: &mut T,
     window_ops: usize,
 ) -> Result<f64, MapError> {
@@ -56,7 +56,7 @@ impl CoreMapper {
     /// # Errors
     ///
     /// Propagates MSR failures from the calibration measurement.
-    pub fn calibrated<T: MapTarget>(machine: &mut T) -> Result<Self, MapError> {
+    pub fn calibrated<T: MachineBackend>(machine: &mut T) -> Result<Self, MapError> {
         let noise_per_op = measure_noise_floor(machine, 256)?;
         let base = MapperConfig::default();
         // Each observed path tile needs its signal (>= iters events) to
@@ -88,7 +88,7 @@ impl CoreMapper {
 ///
 /// Propagates MSR failures; [`MapError::EvictionSetBudget`] if no line
 /// homed at a sampled sink can be found.
-pub fn spot_check<T: MapTarget, R: Rng>(
+pub fn spot_check<T: MachineBackend, R: Rng>(
     machine: &mut T,
     map: &CoreMap,
     samples: usize,
@@ -152,7 +152,7 @@ fn probe_mapping(map: &CoreMap) -> crate::cha_map::ChaMapping {
 /// # Errors
 ///
 /// As for [`spot_check`].
-pub fn validate_stored_map<T: MapTarget>(
+pub fn validate_stored_map<T: MachineBackend>(
     machine: &mut T,
     map: &CoreMap,
     seed: u64,

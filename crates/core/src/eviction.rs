@@ -16,7 +16,7 @@ use coremap_uncore::PhysAddr;
 use rand::Rng;
 
 use crate::monitor;
-use crate::{MapError, MapTarget};
+use crate::{MachineBackend, MapError};
 
 /// A slice eviction set: `ways + 1` lines sharing one L2 set, all homed at
 /// [`cha`](Self::cha).
@@ -41,7 +41,7 @@ pub struct SliceEvictionSet {
 /// # Panics
 ///
 /// Panics if the machine has fewer than two cores.
-pub fn probe_home<T: MapTarget>(
+pub fn probe_home<T: MachineBackend>(
     machine: &mut T,
     pa: PhysAddr,
     iters: usize,
@@ -75,7 +75,7 @@ pub fn probe_home<T: MapTarget>(
 ///
 /// [`MapError::EvictionSetBudget`] if the sampling budget is exhausted
 /// before every slice has a full set; MSR errors propagate.
-pub fn build_all_sets<T: MapTarget, R: Rng>(
+pub fn build_all_sets<T: MachineBackend, R: Rng>(
     machine: &mut T,
     rng: &mut R,
     probe_iters: usize,
@@ -145,7 +145,7 @@ pub fn build_all_sets<T: MapTarget, R: Rng>(
 /// Thrashes an eviction set from `core`: repeatedly dirty-writes all member
 /// lines, forcing evictions (and refills) between the core's L2 and the
 /// target slice.
-pub fn thrash<T: MapTarget>(
+pub fn thrash<T: MachineBackend>(
     machine: &mut T,
     core: OsCoreId,
     set: &SliceEvictionSet,
@@ -162,7 +162,7 @@ pub fn thrash<T: MapTarget>(
 /// once the set overflows the L2, pulling data from the target slice to the
 /// core without generating writeback traffic — a *directed* slice-to-core
 /// transfer stream usable with LLC-only tiles as sources.
-pub fn stream_reads<T: MapTarget>(
+pub fn stream_reads<T: MachineBackend>(
     machine: &mut T,
     core: OsCoreId,
     set: &SliceEvictionSet,

@@ -28,6 +28,10 @@
 //! can be compared against ground truth ([`verify`]) and consumed by attack
 //! planning (the thermal covert channel of `coremap-thermal`).
 //!
+//! Every step is generic over [`MachineBackend`] — the machine seam defined
+//! next to the simulator and re-exported through [`backend`], which also
+//! ships record/replay and fault-injection wrappers around any backend.
+//!
 //! ```
 //! use coremap_mesh::{DieTemplate, FloorplanBuilder};
 //! use coremap_uncore::{MachineConfig, XeonMachine};
@@ -46,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod calibrate;
 pub mod cha_map;
 mod coremap;
@@ -58,6 +63,7 @@ pub mod target;
 pub mod traffic;
 pub mod verify;
 
+pub use backend::MachineBackend;
 pub use coremap::CoreMap;
 pub use error::MapError;
 pub use mapper::{CoreMapper, MapDiagnostics, MapperConfig};

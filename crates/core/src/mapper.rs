@@ -10,7 +10,7 @@ use crate::cha_map;
 use crate::eviction;
 use crate::ilp_model;
 use crate::traffic;
-use crate::{CoreMap, MapError, MapTarget, ObservationSet};
+use crate::{CoreMap, MachineBackend, MapError, ObservationSet};
 
 /// Intermediate results of a mapping run, exposed so callers can study or
 /// persist the raw measurements (e.g. re-solve offline with a different
@@ -108,7 +108,7 @@ impl CoreMapper {
     ///
     /// Any [`MapError`]: missing privileges, probing budget exhaustion,
     /// ambiguous measurements under extreme noise, or ILP infeasibility.
-    pub fn map<T: MapTarget>(&self, machine: &mut T) -> Result<CoreMap, MapError> {
+    pub fn map<T: MachineBackend>(&self, machine: &mut T) -> Result<CoreMap, MapError> {
         self.map_with_diagnostics(machine).map(|(map, _)| map)
     }
 
@@ -118,7 +118,7 @@ impl CoreMapper {
     /// # Errors
     ///
     /// As for [`map`](Self::map).
-    pub fn map_with_diagnostics<T: MapTarget>(
+    pub fn map_with_diagnostics<T: MachineBackend>(
         &self,
         machine: &mut T,
     ) -> Result<(CoreMap, MapDiagnostics), MapError> {

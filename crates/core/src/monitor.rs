@@ -9,7 +9,7 @@ use coremap_mesh::Direction;
 use coremap_uncore::msr::{counter, counter_ctl, unit_ctl, UNIT_CTL_FREEZE, UNIT_CTL_RESET};
 use coremap_uncore::{ChannelCounts, MsrError, RingClass, UncoreEvent};
 
-use crate::MapTarget;
+use crate::MachineBackend;
 
 /// Programs all CHA banks to count the four BL-ring ingress directions:
 /// counter 0/1 = vertical up/down, counter 2/3 = horizontal left/right
@@ -18,7 +18,7 @@ use crate::MapTarget;
 /// # Errors
 ///
 /// Propagates MSR access failures (e.g. missing root privileges).
-pub fn arm_ring<T: MapTarget>(machine: &mut T) -> Result<(), MsrError> {
+pub fn arm_ring<T: MachineBackend>(machine: &mut T) -> Result<(), MsrError> {
     arm_ring_on(machine, RingClass::Bl)
 }
 
@@ -28,7 +28,7 @@ pub fn arm_ring<T: MapTarget>(machine: &mut T) -> Result<(), MsrError> {
 /// # Errors
 ///
 /// Propagates MSR access failures.
-pub fn arm_ring_on<T: MapTarget>(machine: &mut T, ring: RingClass) -> Result<(), MsrError> {
+pub fn arm_ring_on<T: MachineBackend>(machine: &mut T, ring: RingClass) -> Result<(), MsrError> {
     for cha in 0..machine.cha_count() {
         machine.write_msr(
             counter_ctl(cha, 0),
@@ -55,7 +55,7 @@ pub fn arm_ring_on<T: MapTarget>(machine: &mut T, ring: RingClass) -> Result<(),
 /// # Errors
 ///
 /// Propagates MSR access failures.
-pub fn arm_llc_lookup<T: MapTarget>(machine: &mut T) -> Result<(), MsrError> {
+pub fn arm_llc_lookup<T: MachineBackend>(machine: &mut T) -> Result<(), MsrError> {
     for cha in 0..machine.cha_count() {
         machine.write_msr(counter_ctl(cha, 0), UncoreEvent::LlcLookup.encode())?;
     }
@@ -67,7 +67,7 @@ pub fn arm_llc_lookup<T: MapTarget>(machine: &mut T) -> Result<(), MsrError> {
 /// # Errors
 ///
 /// Propagates MSR access failures.
-pub fn reset_all<T: MapTarget>(machine: &mut T) -> Result<(), MsrError> {
+pub fn reset_all<T: MachineBackend>(machine: &mut T) -> Result<(), MsrError> {
     for cha in 0..machine.cha_count() {
         machine.write_msr(unit_ctl(cha), UNIT_CTL_RESET)?;
     }
@@ -79,7 +79,7 @@ pub fn reset_all<T: MapTarget>(machine: &mut T) -> Result<(), MsrError> {
 /// # Errors
 ///
 /// Propagates MSR access failures.
-pub fn freeze_all<T: MapTarget>(machine: &mut T) -> Result<(), MsrError> {
+pub fn freeze_all<T: MachineBackend>(machine: &mut T) -> Result<(), MsrError> {
     for cha in 0..machine.cha_count() {
         machine.write_msr(unit_ctl(cha), UNIT_CTL_FREEZE)?;
     }
@@ -91,7 +91,7 @@ pub fn freeze_all<T: MapTarget>(machine: &mut T) -> Result<(), MsrError> {
 /// # Errors
 ///
 /// Propagates MSR access failures.
-pub fn read_ring<T: MapTarget>(machine: &T, cha: usize) -> Result<ChannelCounts, MsrError> {
+pub fn read_ring<T: MachineBackend>(machine: &T, cha: usize) -> Result<ChannelCounts, MsrError> {
     Ok(ChannelCounts {
         llc_lookup: 0,
         up: machine.read_msr(counter(cha, 0))?,
@@ -106,7 +106,7 @@ pub fn read_ring<T: MapTarget>(machine: &T, cha: usize) -> Result<ChannelCounts,
 /// # Errors
 ///
 /// Propagates MSR access failures.
-pub fn read_llc_lookup<T: MapTarget>(machine: &T, cha: usize) -> Result<u64, MsrError> {
+pub fn read_llc_lookup<T: MachineBackend>(machine: &T, cha: usize) -> Result<u64, MsrError> {
     machine.read_msr(counter(cha, 0))
 }
 

@@ -1,165 +1,35 @@
-//! The measurement-target abstraction.
+//! Legacy name of the machine-backend seam.
 //!
-//! The mapping methodology only needs a small set of primitives from the
-//! machine under measurement; [`MapTarget`] names them. The workspace ships
-//! one implementation — the simulated [`XeonMachine`] — but the trait is
-//! the seam where a *real-hardware* backend plugs in:
-//!
-//! | trait method | bare-metal Linux implementation |
-//! |---|---|
-//! | `read_msr` / `write_msr` | `pread`/`pwrite` on `/dev/cpu/<n>/msr` (root) |
-//! | `os_cores` / `core_count` | `/sys/devices/system/cpu` enumeration (SMT folded) |
-//! | `cha_count` | uncore discovery MSRs / `CAPID` fuse registers |
-//! | `grid_dim` | per-model die constant ([Tam et al., ISSCC'18]) |
-//! | `l2_geometry` | `CPUID` leaf 4 |
-//! | `address_space` | usable physical memory from `/proc/iomem` |
-//! | `write_line` / `read_line` | pinned worker thread issuing volatile accesses to a hugepage-backed buffer with known physical addresses |
-//! | `flush_caches` | `wbinvd` (kernel helper) or a `clflush` sweep |
-//!
-//! All higher layers (`eviction`, `cha_map`, `traffic`, `calibrate`,
-//! [`CoreMapper`](crate::CoreMapper)) are generic over this trait.
+//! The measurement-target trait moved to [`crate::backend`] (defined in
+//! [`coremap_uncore::backend`] next to its reference implementation) and
+//! was renamed to [`MachineBackend`] when the record/replay and
+//! fault-injection backends joined it. This module keeps the old path and
+//! the old `MapTarget` name alive for downstream code; new code should use
+//! [`crate::backend::MachineBackend`].
 
-use coremap_mesh::{GridDim, OsCoreId};
-use coremap_uncore::{MsrError, PhysAddr, XeonMachine};
+pub use crate::backend::MachineBackend;
 
-/// A machine the mapping pipeline can measure.
-///
-/// Semantics the pipeline relies on (all satisfied by real Xeons and by the
-/// simulator):
-///
-/// * MSR access requires privilege and reaches the per-CHA PMON banks laid
-///   out as in [`coremap_uncore::msr`];
-/// * `write_line`/`read_line` behave like pinned user-level accesses under
-///   an invalidation-based coherence protocol over a mesh with
-///   dimension-order routing;
-/// * `flush_caches` returns every line to its home slice so experiment
-///   windows do not leak into each other.
-pub trait MapTarget {
-    /// Reads a model-specific register.
-    ///
-    /// # Errors
-    ///
-    /// [`MsrError`] on missing privilege or unmapped addresses.
-    fn read_msr(&self, addr: u32) -> Result<u64, MsrError>;
-
-    /// Writes a model-specific register.
-    ///
-    /// # Errors
-    ///
-    /// [`MsrError`] on missing privilege, unmapped or read-only addresses.
-    fn write_msr(&mut self, addr: u32, value: u64) -> Result<(), MsrError>;
-
-    /// Number of active CHAs.
-    fn cha_count(&self) -> usize;
-
-    /// Number of OS-visible cores.
-    fn core_count(&self) -> usize;
-
-    /// OS core IDs, ascending.
-    fn os_cores(&self) -> Vec<OsCoreId>;
-
-    /// The die's tile-grid dimensions (known per CPU model).
-    fn grid_dim(&self) -> GridDim;
-
-    /// L2 geometry `(sets, ways)`.
-    fn l2_geometry(&self) -> (usize, usize);
-
-    /// Size of the usable physical address space in bytes.
-    fn address_space(&self) -> u64;
-
-    /// A worker pinned to `core` stores to `pa`.
-    fn write_line(&mut self, core: OsCoreId, pa: PhysAddr);
-
-    /// A worker pinned to `core` loads from `pa`.
-    fn read_line(&mut self, core: OsCoreId, pa: PhysAddr);
-
-    /// Writes back and invalidates all caches.
-    fn flush_caches(&mut self);
-
-    /// Number of cache operations issued so far — a diagnostic; backends
-    /// that do not track it may keep the default.
-    fn op_count(&self) -> u64 {
-        0
-    }
-}
-
-impl MapTarget for XeonMachine {
-    fn read_msr(&self, addr: u32) -> Result<u64, MsrError> {
-        XeonMachine::read_msr(self, addr)
-    }
-
-    fn write_msr(&mut self, addr: u32, value: u64) -> Result<(), MsrError> {
-        XeonMachine::write_msr(self, addr, value)
-    }
-
-    fn cha_count(&self) -> usize {
-        XeonMachine::cha_count(self)
-    }
-
-    fn core_count(&self) -> usize {
-        XeonMachine::core_count(self)
-    }
-
-    fn os_cores(&self) -> Vec<OsCoreId> {
-        XeonMachine::os_cores(self)
-    }
-
-    fn grid_dim(&self) -> GridDim {
-        XeonMachine::grid_dim(self)
-    }
-
-    fn l2_geometry(&self) -> (usize, usize) {
-        XeonMachine::l2_geometry(self)
-    }
-
-    fn address_space(&self) -> u64 {
-        XeonMachine::address_space(self)
-    }
-
-    fn write_line(&mut self, core: OsCoreId, pa: PhysAddr) {
-        XeonMachine::write_line(self, core, pa);
-    }
-
-    fn read_line(&mut self, core: OsCoreId, pa: PhysAddr) {
-        XeonMachine::read_line(self, core, pa);
-    }
-
-    fn flush_caches(&mut self) {
-        XeonMachine::flush_caches(self);
-    }
-
-    fn op_count(&self) -> u64 {
-        XeonMachine::op_count(self)
-    }
-}
+/// Deprecated alias of [`MachineBackend`], kept for source compatibility.
+pub use crate::backend::MachineBackend as MapTarget;
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use super::MapTarget;
     use coremap_mesh::{DieTemplate, FloorplanBuilder};
-    use coremap_uncore::MachineConfig;
+    use coremap_uncore::{MachineConfig, XeonMachine};
 
+    // The alias must keep accepting impls and generic bounds written
+    // against the old name.
     fn as_target<T: MapTarget>(t: &T) -> (usize, usize) {
         (t.cha_count(), t.core_count())
     }
 
     #[test]
-    fn xeon_machine_implements_the_trait() {
+    fn alias_still_names_the_backend_trait() {
         let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
             .build()
             .unwrap();
         let machine = XeonMachine::new(plan, MachineConfig::default());
         assert_eq!(as_target(&machine), (28, 28));
-    }
-
-    #[test]
-    fn trait_msr_access_matches_inherent() {
-        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
-            .build()
-            .unwrap();
-        let machine = XeonMachine::new(plan, MachineConfig::default());
-        let via_trait = MapTarget::read_msr(&machine, coremap_uncore::msr::MSR_PPIN).unwrap();
-        let direct = machine.read_msr(coremap_uncore::msr::MSR_PPIN).unwrap();
-        assert_eq!(via_trait, direct);
     }
 }

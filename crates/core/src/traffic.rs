@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 use crate::cha_map::ChaMapping;
 use crate::eviction::{self, SliceEvictionSet};
 use crate::monitor;
-use crate::{MapError, MapTarget};
+use crate::{MachineBackend, MapError};
 
 /// Truthful vertical travel direction derived from the `up`/`down` ingress
 /// labels (paper Sec. II-C.3: vertical constraints use the real direction).
@@ -123,7 +123,7 @@ impl ObservationSet {
 
 /// Collects counters from all CHAs and thresholds them into a
 /// [`PathObservation`].
-fn collect_observation<T: MapTarget>(
+fn collect_observation<T: MachineBackend>(
     machine: &T,
     source: ChaId,
     sink: ChaId,
@@ -158,7 +158,7 @@ fn collect_observation<T: MapTarget>(
 /// # Errors
 ///
 /// Propagates MSR errors.
-pub fn observe_core_pair<T: MapTarget>(
+pub fn observe_core_pair<T: MachineBackend>(
     machine: &mut T,
     mapping: &ChaMapping,
     src: OsCoreId,
@@ -191,7 +191,7 @@ pub fn observe_core_pair<T: MapTarget>(
 /// # Errors
 ///
 /// Propagates MSR errors.
-pub fn observe_slice_to_core<T: MapTarget>(
+pub fn observe_slice_to_core<T: MachineBackend>(
     machine: &mut T,
     mapping: &ChaMapping,
     set: &SliceEvictionSet,
@@ -215,7 +215,7 @@ pub fn observe_slice_to_core<T: MapTarget>(
 /// # Errors
 ///
 /// Propagates MSR errors.
-pub fn observe_all<T: MapTarget>(
+pub fn observe_all<T: MachineBackend>(
     machine: &mut T,
     mapping: &ChaMapping,
     sets: &[SliceEvictionSet],
@@ -277,7 +277,7 @@ pub fn observe_all<T: MapTarget>(
 /// # Errors
 ///
 /// Propagates MSR errors.
-pub fn observe_all_ad<T: MapTarget>(
+pub fn observe_all_ad<T: MachineBackend>(
     machine: &mut T,
     mapping: &ChaMapping,
     sets: &[SliceEvictionSet],

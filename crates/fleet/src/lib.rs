@@ -16,7 +16,13 @@
 //!   the reported top-4 frequencies);
 //! * [`stats`] computes those tables back from *measured* maps, and
 //!   [`MapRegistry`] persists PPIN-keyed [`CoreMap`](coremap_core::CoreMap)s
-//!   the way an attacker would catalogue mapped instances.
+//!   the way an attacker would catalogue mapped instances;
+//! * [`FleetRunner`] is the shared campaign harness: it walks a model's
+//!   instances with a work-queue worker pool, collects per-instance
+//!   `Result`s in instance order (worker-count-independent output, failures
+//!   recorded rather than fatal), and is generic over the
+//!   [`MachineBackend`](coremap_core::backend::MachineBackend) each
+//!   instance boots into.
 //!
 //! ```
 //! use coremap_fleet::{CloudFleet, CpuModel};
@@ -39,6 +45,7 @@ mod fleet;
 mod model;
 mod registry;
 pub mod render;
+mod runner;
 pub mod sampler;
 pub mod stats;
 
@@ -46,3 +53,4 @@ pub use error::FleetError;
 pub use fleet::{CloudFleet, CloudInstance};
 pub use model::CpuModel;
 pub use registry::MapRegistry;
+pub use runner::{FleetOutcome, FleetRunner, SurveyStats};

@@ -1,0 +1,252 @@
+//! The shared parallel fleet runner.
+//!
+//! Every consumer that measures many instances — the CLI's fleet survey,
+//! the experiment binaries regenerating the paper's tables — needs the
+//! same harness: walk instances `0..count` of one model, run a per-instance
+//! job on a bounded worker pool, and collect per-instance results *in
+//! instance order* so the output is independent of worker count and
+//! scheduling. [`FleetRunner`] is that harness; a failing instance becomes
+//! an `Err` entry in the [`FleetOutcome`] instead of aborting the whole
+//! campaign.
+
+use std::sync::Mutex;
+
+use coremap_core::backend::MachineBackend;
+use coremap_core::{verify, CoreMap, CoreMapper, MapError};
+
+use crate::stats::{IdMappingStats, PatternStats};
+use crate::{CloudFleet, CloudInstance, CpuModel};
+
+/// Per-instance result slots, filled as workers finish.
+type ResultSlots<T, E> = Mutex<Vec<Option<(CloudInstance, Result<T, E>)>>>;
+
+/// A work-queue thread pool over the instances of one fleet model.
+///
+/// Results are keyed by instance index, so for a deterministic job the
+/// outcome is identical whatever the worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetRunner {
+    workers: usize,
+}
+
+impl FleetRunner {
+    /// A runner with `workers` threads (clamped to at least one).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A single-threaded runner.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `job` once per instance `0..count` of `model`, returning
+    /// per-instance results in instance order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the model's population — a caller bug,
+    /// unlike a *job* failure, which lands as an `Err` in the outcome.
+    pub fn run<T, E, F>(
+        &self,
+        fleet: &CloudFleet,
+        model: CpuModel,
+        count: usize,
+        job: F,
+    ) -> FleetOutcome<T, E>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(&CloudInstance) -> Result<T, E> + Sync,
+    {
+        let queue: Mutex<Vec<usize>> = Mutex::new((0..count).rev().collect());
+        let results: ResultSlots<T, E> = Mutex::new((0..count).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(count.max(1)) {
+                scope.spawn(|| loop {
+                    let idx = match queue.lock().expect("queue lock").pop() {
+                        Some(i) => i,
+                        None => break,
+                    };
+                    let instance = fleet.instance(model, idx).expect("index below population");
+                    let result = job(&instance);
+                    results.lock().expect("results lock")[idx] = Some((instance, result));
+                });
+            }
+        });
+        FleetOutcome {
+            results: results
+                .into_inner()
+                .expect("results lock")
+                .into_iter()
+                .map(|r| r.expect("every index processed"))
+                .collect(),
+        }
+    }
+
+    /// Maps instances `0..count` of `model` with `mapper`, booting each
+    /// through `boot` — generic over the [`MachineBackend`] the campaign
+    /// measures, so the same runner drives simulators, recording wrappers
+    /// or fault-injection studies.
+    ///
+    /// Recovered maps carry the model's die template, as every consumer
+    /// wants them.
+    pub fn map_instances<B, F>(
+        &self,
+        fleet: &CloudFleet,
+        model: CpuModel,
+        count: usize,
+        mapper: &CoreMapper,
+        boot: F,
+    ) -> FleetOutcome<CoreMap, MapError>
+    where
+        B: MachineBackend,
+        F: Fn(&CloudInstance) -> B + Sync,
+    {
+        self.run(fleet, model, count, |instance| {
+            let mut machine = boot(instance);
+            mapper
+                .map(&mut machine)
+                .map(|m| m.with_template(model.template()))
+        })
+    }
+}
+
+impl Default for FleetRunner {
+    fn default() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        )
+    }
+}
+
+/// Per-instance results of a fleet campaign, in instance order.
+#[derive(Debug)]
+pub struct FleetOutcome<T, E> {
+    results: Vec<(CloudInstance, Result<T, E>)>,
+}
+
+impl<T, E> FleetOutcome<T, E> {
+    /// Number of instances processed.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether no instances were processed.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// All per-instance results, in instance order.
+    pub fn iter(&self) -> impl Iterator<Item = &(CloudInstance, Result<T, E>)> {
+        self.results.iter()
+    }
+
+    /// Successful instances, in instance order.
+    pub fn successes(&self) -> impl Iterator<Item = (&CloudInstance, &T)> {
+        self.results
+            .iter()
+            .filter_map(|(i, r)| r.as_ref().ok().map(|v| (i, v)))
+    }
+
+    /// Failed instances, in instance order.
+    pub fn failures(&self) -> impl Iterator<Item = (&CloudInstance, &E)> {
+        self.results
+            .iter()
+            .filter_map(|(i, r)| r.as_ref().err().map(|e| (i, e)))
+    }
+
+    /// Number of failed instances.
+    pub fn failure_count(&self) -> usize {
+        self.results.iter().filter(|(_, r)| r.is_err()).count()
+    }
+
+    /// Consumes the outcome, keeping only successes (skip-and-count
+    /// callers should report [`failure_count`](Self::failure_count)
+    /// first).
+    pub fn into_successes(self) -> Vec<(CloudInstance, T)> {
+        self.results
+            .into_iter()
+            .filter_map(|(i, r)| r.ok().map(|v| (i, v)))
+            .collect()
+    }
+}
+
+/// The survey statistics every fleet campaign reports (paper Tables I/II):
+/// location-pattern diversity, ID-mapping diversity, and ground-truth
+/// verification counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SurveyStats {
+    /// Location-pattern diversity over the recovered maps.
+    pub patterns: PatternStats,
+    /// OS-core↔CHA ID-mapping diversity over the recovered maps.
+    pub ids: IdMappingStats,
+    /// Instances whose recovered map matches ground truth relatively.
+    pub verified: usize,
+    /// Instances mapped successfully.
+    pub mapped: usize,
+    /// Instances that failed to map.
+    pub failed: usize,
+}
+
+impl SurveyStats {
+    /// Folds a mapping campaign's outcome into survey statistics.
+    pub fn collect(outcome: &FleetOutcome<CoreMap, MapError>) -> Self {
+        let mut stats = Self::default();
+        for (instance, map) in outcome.successes() {
+            stats.patterns.record(map);
+            stats.ids.record(map);
+            if verify::matches_relative(map, instance.floorplan()) {
+                stats.verified += 1;
+            }
+            stats.mapped += 1;
+        }
+        stats.failed = outcome.failure_count();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_results_arrive_in_instance_order() {
+        let fleet = CloudFleet::with_seed(9);
+        let outcome = FleetRunner::new(3).run(&fleet, CpuModel::Gold6354, 4, |instance| {
+            Ok::<usize, MapError>(instance.index())
+        });
+        let indices: Vec<usize> = outcome.successes().map(|(_, &v)| v).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3]);
+        assert_eq!(outcome.failure_count(), 0);
+    }
+
+    #[test]
+    fn failures_are_collected_not_fatal() {
+        let fleet = CloudFleet::with_seed(9);
+        let outcome = FleetRunner::new(2).run(&fleet, CpuModel::Gold6354, 4, |instance| {
+            if instance.index() % 2 == 1 {
+                Err(format!("instance {} rejected", instance.index()))
+            } else {
+                Ok(instance.index())
+            }
+        });
+        assert_eq!(outcome.len(), 4);
+        assert_eq!(outcome.failure_count(), 2);
+        let kept: Vec<usize> = outcome
+            .into_successes()
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(kept, vec![0, 2]);
+    }
+}

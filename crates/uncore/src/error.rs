@@ -2,8 +2,13 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 /// Error accessing a model-specific register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serializable so recorded [`backend`](crate::backend) traces can persist
+/// failed MSR accesses verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MsrError {
     /// The caller does not have root privileges on the machine.
     PermissionDenied,

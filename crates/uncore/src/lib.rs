@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod addr;
+pub mod backend;
 pub mod cache;
 mod error;
 pub mod events;
@@ -53,6 +54,7 @@ mod noise;
 pub mod pmon;
 
 pub use addr::{LineAddr, PhysAddr};
+pub use backend::MachineBackend;
 pub use error::MsrError;
 pub use events::{RingClass, UncoreEvent};
 pub use machine::{ChannelCounts, MachineConfig, XeonMachine};

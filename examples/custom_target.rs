@@ -1,10 +1,10 @@
-//! Custom measurement targets: the `MapTarget` seam.
+//! Custom measurement backends: the `MachineBackend` seam.
 //!
-//! The mapping pipeline is generic over [`core_map::core::MapTarget`], the
-//! trait a real-hardware backend implements (see its docs for the
-//! bare-metal Linux recipe). This example wraps the simulator in a
-//! *instrumenting* target that counts every primitive the methodology
-//! invokes — yielding the measurement-cost profile of the attack, broken
+//! The mapping pipeline is generic over
+//! [`core_map::core::backend::MachineBackend`], the trait a real-hardware
+//! backend implements (see its docs for the bare-metal Linux recipe).
+//! This example wraps the simulator in an *instrumenting* backend that
+//! counts every primitive the methodology invokes — yielding the measurement-cost profile of the attack, broken
 //! down by primitive.
 //!
 //! ```sh
@@ -13,12 +13,13 @@
 
 use std::cell::Cell;
 
-use core_map::core::{CoreMapper, MapTarget};
+use core_map::core::backend::MachineBackend;
+use core_map::core::CoreMapper;
 use core_map::fleet::{CloudFleet, CpuModel};
-use core_map::mesh::{GridDim, OsCoreId};
+use core_map::mesh::{ChaId, GridDim, OsCoreId};
 use core_map::uncore::{MsrError, PhysAddr, XeonMachine};
 
-/// Counts how often each `MapTarget` primitive is used.
+/// Counts how often each `MachineBackend` primitive is used.
 #[derive(Default)]
 struct Profile {
     msr_reads: Cell<u64>,
@@ -28,15 +29,15 @@ struct Profile {
     flushes: Cell<u64>,
 }
 
-/// A target that delegates to the simulator while profiling the calls — on
-/// real hardware the same wrapper would measure syscall and pinning
+/// A backend that delegates to the simulator while profiling the calls —
+/// on real hardware the same wrapper would measure syscall and pinning
 /// overhead.
 struct InstrumentedTarget {
     inner: XeonMachine,
     profile: Profile,
 }
 
-impl MapTarget for InstrumentedTarget {
+impl MachineBackend for InstrumentedTarget {
     fn read_msr(&self, addr: u32) -> Result<u64, MsrError> {
         self.profile.msr_reads.set(self.profile.msr_reads.get() + 1);
         self.inner.read_msr(addr)
@@ -73,6 +74,10 @@ impl MapTarget for InstrumentedTarget {
         self.inner.address_space()
     }
 
+    fn home_of(&self, pa: PhysAddr) -> ChaId {
+        self.inner.home_of(pa)
+    }
+
     fn write_line(&mut self, core: OsCoreId, pa: PhysAddr) {
         self.profile
             .line_writes
@@ -103,7 +108,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let map = CoreMapper::new().map(&mut target)?;
     println!(
-        "mapped {} ({} cores) through an instrumented MapTarget\n",
+        "mapped {} ({} cores) through an instrumented MachineBackend\n",
         instance.model(),
         map.core_count()
     );

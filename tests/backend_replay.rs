@@ -1,0 +1,151 @@
+//! Backend conformance and the record → replay regression workflow.
+//!
+//! The four shipped backends — the simulated `XeonMachine`, the recording
+//! and replay wrappers, and the fault injector — are interchangeable
+//! behind `MachineBackend`. These tests drive each through the same
+//! generic code paths and pin down the central guarantee: a recorded
+//! SkylakeXcc mapping campaign, replayed with zero simulation behind it,
+//! reproduces the recovered `CoreMap` bit for bit.
+
+use core_map::core::backend::{
+    FaultPlan, FaultyBackend, MachineBackend, MeasurementTrace, RecordingBackend, ReplayBackend,
+};
+use core_map::core::CoreMapper;
+use core_map::mesh::{DieTemplate, FloorplanBuilder, OsCoreId};
+use core_map::uncore::{msr, MachineConfig, PhysAddr, XeonMachine};
+
+fn skylake() -> XeonMachine {
+    let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+        .build()
+        .expect("SkylakeXcc floorplan");
+    XeonMachine::new(plan, MachineConfig::default())
+}
+
+/// Exercises every `MachineBackend` method once, checking the invariants
+/// the pipeline relies on. Deterministic, so the op sequence it issues is
+/// identical on every backend — which is what lets a recorded run replay
+/// through this same function.
+fn conformance_suite<B: MachineBackend>(backend: &mut B) -> (u64, usize) {
+    assert!(backend.core_count() > 0, "no cores");
+    assert!(
+        backend.cha_count() >= backend.core_count(),
+        "fewer CHAs than cores"
+    );
+    let cores = backend.os_cores();
+    assert_eq!(cores.len(), backend.core_count());
+    assert!(
+        cores.windows(2).all(|w| w[0] < w[1]),
+        "os_cores not ascending"
+    );
+    let dim = backend.grid_dim();
+    assert!(dim.rows * dim.cols >= backend.cha_count(), "grid too small");
+    let (sets, ways) = backend.l2_geometry();
+    assert!(sets > 0 && ways > 0);
+    assert!(backend.address_space() > 0);
+
+    let ppin = backend
+        .read_msr(msr::MSR_PPIN)
+        .expect("PPIN readable with privilege");
+    let home = backend.home_of(PhysAddr::new(0x1000)).index();
+    assert!(home < backend.cha_count());
+
+    let before = backend.op_count();
+    backend.write_line(OsCoreId::new(0), PhysAddr::new(0x1000));
+    backend.read_line(OsCoreId::new(1), PhysAddr::new(0x1000));
+    backend.flush_caches();
+    assert!(
+        backend.op_count() >= before,
+        "op_count must not go backwards"
+    );
+    (ppin, home)
+}
+
+#[test]
+fn xeon_machine_passes_conformance() {
+    let mut machine = skylake();
+    conformance_suite(&mut machine);
+}
+
+#[test]
+fn recording_is_transparent_and_replay_conforms() {
+    let mut recorder = RecordingBackend::new(skylake());
+    let direct = conformance_suite(&mut recorder);
+    let ops = recorder.recorded_ops();
+    assert!(ops > 0, "conformance suite must cross the trait");
+    let (_machine, trace) = recorder.into_parts();
+    assert_eq!(trace.len(), ops);
+
+    let mut replay = ReplayBackend::new(trace);
+    let replayed = conformance_suite(&mut replay);
+    assert_eq!(direct, replayed, "replay must reproduce recorded answers");
+    assert!(replay.is_exhausted(), "suite must consume the whole trace");
+}
+
+#[test]
+fn conformance_trace_survives_json_round_trip() {
+    let mut recorder = RecordingBackend::new(skylake());
+    let direct = conformance_suite(&mut recorder);
+    let (_machine, trace) = recorder.into_parts();
+
+    let json = serde_json::to_string(&trace).expect("trace serializes");
+    let restored: MeasurementTrace = serde_json::from_str(&json).expect("trace deserializes");
+    assert_eq!(restored, trace);
+
+    let mut replay = ReplayBackend::new(restored);
+    assert_eq!(conformance_suite(&mut replay), direct);
+}
+
+#[test]
+fn recorded_skylake_campaign_replays_to_identical_coremap() {
+    // Reference run on the bare simulator.
+    let mut machine = skylake();
+    let reference = CoreMapper::new().map(&mut machine).expect("reference map");
+
+    // Recorded run: the wrapper must not change the result.
+    let mut recorder = RecordingBackend::new(skylake());
+    let recorded = CoreMapper::new().map(&mut recorder).expect("recorded map");
+    assert_eq!(recorded, reference, "recording must be transparent");
+
+    // Replayed run: same pipeline, zero simulation behind it.
+    let (_machine, trace) = recorder.into_parts();
+    assert!(!trace.is_empty());
+    let mut replay = ReplayBackend::new(trace);
+    let replayed = CoreMapper::new().map(&mut replay).expect("replayed map");
+    assert_eq!(replayed, recorded, "replay must be bit-identical");
+}
+
+#[test]
+fn fault_free_plan_is_transparent() {
+    let mut reference = skylake();
+    let want = CoreMapper::new().map(&mut reference).expect("clean map");
+
+    let mut faulty = FaultyBackend::new(skylake(), FaultPlan::none(7));
+    let got = CoreMapper::new().map(&mut faulty).expect("fault-free map");
+    assert_eq!(got, want);
+    assert_eq!(faulty.injected_faults(), 0);
+}
+
+#[test]
+fn total_msr_failure_breaks_the_pipeline_cleanly() {
+    let plan = FaultPlan::none(11).with_msr_fail_prob(1.0);
+    let mut faulty = FaultyBackend::new(skylake(), plan);
+    let result = CoreMapper::new().map(&mut faulty);
+    assert!(result.is_err(), "mapping cannot succeed without MSR access");
+    assert!(faulty.injected_faults() > 0);
+}
+
+#[test]
+fn fault_injection_is_deterministic_per_seed() {
+    let plan = FaultPlan::none(42)
+        .with_counter_drop_prob(0.02)
+        .with_counter_jitter(3);
+    let run = |plan: FaultPlan| {
+        let mut faulty = FaultyBackend::new(skylake(), plan);
+        let result = CoreMapper::new().map(&mut faulty);
+        (format!("{result:?}"), faulty.injected_faults())
+    };
+    let first = run(plan.clone());
+    let second = run(plan);
+    assert!(first.1 > 0, "plan must actually inject faults");
+    assert_eq!(first, second, "same seed, same faults, same outcome");
+}

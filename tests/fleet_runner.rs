@@ -1,0 +1,85 @@
+//! The shared fleet runner: worker-count independence and failure
+//! surfacing.
+//!
+//! `FleetRunner` is the one parallel harness behind the CLI's fleet survey
+//! and the experiment binaries. Its contract: per-instance results arrive
+//! in instance order whatever the worker count, and a failing instance is
+//! an `Err` entry instead of a campaign abort.
+
+use core_map::core::CoreMapper;
+use core_map::fleet::{CloudFleet, CloudInstance, CpuModel, FleetRunner, SurveyStats};
+
+#[test]
+fn parallel_survey_matches_sequential() {
+    let fleet = CloudFleet::with_seed(2022);
+    let model = CpuModel::Platinum8259CL;
+    let count = 6;
+    let mapper = CoreMapper::new();
+
+    let sequential =
+        FleetRunner::sequential().map_instances(&fleet, model, count, &mapper, CloudInstance::boot);
+    let parallel =
+        FleetRunner::new(4).map_instances(&fleet, model, count, &mapper, CloudInstance::boot);
+
+    assert_eq!(sequential.len(), count);
+    assert_eq!(parallel.len(), count);
+    assert_eq!(sequential.failure_count(), 0);
+    assert_eq!(parallel.failure_count(), 0);
+
+    // Same maps, same order, instance by instance.
+    for ((si, sm), (pi, pm)) in sequential.successes().zip(parallel.successes()) {
+        assert_eq!(si.index(), pi.index());
+        assert_eq!(sm, pm, "map of instance #{} differs", si.index());
+    }
+
+    // And therefore identical survey statistics (paper Tables I/II).
+    let seq_stats = SurveyStats::collect(&sequential);
+    let par_stats = SurveyStats::collect(&parallel);
+    assert_eq!(seq_stats.patterns, par_stats.patterns);
+    assert_eq!(seq_stats.ids, par_stats.ids);
+    assert_eq!(seq_stats, par_stats);
+    assert_eq!(seq_stats.mapped, count);
+}
+
+#[test]
+fn failures_surface_per_instance_without_aborting() {
+    let fleet = CloudFleet::with_seed(5);
+    let outcome = FleetRunner::new(3).run(&fleet, CpuModel::Platinum8175M, 5, |instance| {
+        if instance.index() == 2 {
+            Err("synthetic measurement failure")
+        } else {
+            Ok(instance.ppin())
+        }
+    });
+
+    assert_eq!(outcome.len(), 5);
+    assert_eq!(outcome.failure_count(), 1);
+    let failed: Vec<usize> = outcome.failures().map(|(i, _)| i.index()).collect();
+    assert_eq!(failed, vec![2]);
+    let ok: Vec<usize> = outcome.successes().map(|(i, _)| i.index()).collect();
+    assert_eq!(ok, vec![0, 1, 3, 4]);
+
+    // Each success reports its own instance's PPIN, in instance order.
+    for (instance, ppin) in outcome.successes() {
+        assert_eq!(*ppin, instance.ppin());
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_plain_run_results() {
+    let fleet = CloudFleet::with_seed(2022);
+    let digest = |workers: usize| {
+        FleetRunner::new(workers)
+            .run(&fleet, CpuModel::Platinum8259CL, 8, |instance| {
+                Ok::<(usize, u64), &str>((instance.index(), instance.ppin().value()))
+            })
+            .into_successes()
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect::<Vec<_>>()
+    };
+    let one = digest(1);
+    assert_eq!(digest(2), one);
+    assert_eq!(digest(8), one);
+    assert_eq!(one.len(), 8);
+}

@@ -1,0 +1,42 @@
+//! `any::<T>()`: whole-domain strategies for primitive types.
+
+use std::marker::PhantomData;
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Samples an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy covering `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

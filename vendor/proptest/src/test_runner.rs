@@ -1,0 +1,78 @@
+//! The case runner behind the [`proptest!`](crate::proptest) macro.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG driving strategy sampling.
+pub type TestRng = ChaCha8Rng;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why one sampled case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is resampled.
+    Reject(String),
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Runs `case` until `config.cases` passes, panicking on the first failure.
+///
+/// The RNG is seeded from the test name, so runs are deterministic and a
+/// failure reproduces exactly on re-run.
+///
+/// # Panics
+///
+/// Panics when a case fails or when `prop_assume!` rejects too many cases.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::seed_from_u64(fnv1a(name));
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let reject_budget = config.cases.saturating_mul(16).max(1024);
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(cond)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= reject_budget,
+                    "proptest `{name}`: too many cases rejected by prop_assume!({cond})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed at case {passed}: {msg}")
+            }
+        }
+    }
+}

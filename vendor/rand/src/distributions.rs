@@ -1,0 +1,150 @@
+//! Distributions: the [`Standard`] distribution plus uniform range
+//! sampling used by [`Rng::gen_range`](crate::Rng::gen_range).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// A distribution of values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "obvious" uniform distribution over a type's whole domain
+/// (`[0, 1)` for floats).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Distribution<i128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i128 {
+        <Standard as Distribution<u128>>::sample(self, rng) as i128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        unit_f64(rng) as f32
+    }
+}
+
+/// Uniform sample from `[0, 1)` with 53 bits of precision.
+pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types [`Rng::gen_range`](crate::Rng::gen_range) can sample uniformly.
+///
+/// Kept as a single trait with per-type sampling methods so that
+/// [`SampleRange`] can be *blanket*-implemented for `Range<T>` /
+/// `RangeInclusive<T>` — one applicable impl is what lets the compiler
+/// infer the integer type of an untyped range literal from surrounding
+/// usage, exactly like upstream rand.
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+
+    /// Samples uniformly from `[low, high]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// A range form accepted by [`Rng::gen_range`](crate::Rng::gen_range).
+pub trait SampleRange<T: SampleUniform> {
+    /// Samples one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let v = u128::from(rng.next_u64()) % span;
+                (low as i128 + v as i128) as $t
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                let v = u128::from(rng.next_u64()) % span;
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                low + (unit_f64(rng) as $t) * (high - low)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                low + (unit_f64(rng) as $t) * (high - low)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);

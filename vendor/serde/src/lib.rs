@@ -1,0 +1,395 @@
+//! Vendored, dependency-free subset of the `serde` API.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! simplified serde: instead of the visitor-based `Serializer`/
+//! `Deserializer` machinery, types convert to and from a self-describing
+//! [`Value`] tree. The derive macros (`#[derive(Serialize, Deserialize)]`,
+//! re-exported from the vendored `serde_derive` crate under the `derive`
+//! feature) generate `Value` conversions that follow serde's external
+//! enum-tagging and struct-as-map conventions, so the JSON produced by the
+//! vendored `serde_json` matches what upstream serde would emit for the
+//! types in this workspace.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing intermediate data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (struct fields, map entries,
+    /// enum tags).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Looks up a struct field by name in a map value's entries.
+///
+/// # Errors
+///
+/// Returns an error naming the missing field.
+pub fn get_field<'a>(entries: &'a [(String, Value)], name: &str) -> Result<&'a Value, Error> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+}
+
+/// A type convertible into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// A type reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the value's shape does not match.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+fn type_error<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    Err(Error::custom(format!("expected {expected}, got {got:?}")))
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = match value {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    // Map keys arrive stringified ("1234": {...}).
+                    Value::Str(s) => s
+                        .parse::<u64>()
+                        .map_err(|_| Error::custom(format!("invalid integer `{s}`")))?,
+                    other => return type_error("unsigned integer", other),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self >= 0 {
+                    Value::U64(*self as u64)
+                } else {
+                    Value::I64(*self as i64)
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = match value {
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom(format!("integer {n} out of range")))?,
+                    Value::I64(n) => *n,
+                    Value::Str(s) => s
+                        .parse::<i64>()
+                        .map_err(|_| Error::custom(format!("invalid integer `{s}`")))?,
+                    other => return type_error("integer", other),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::F64(x) => Ok(*x as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    other => type_error("number", other),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => type_error("boolean", other),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => type_error("null", other),
+        }
+    }
+}
+
+// External tagging, matching upstream serde: `{"Ok": v}` / `{"Err": e}`.
+impl<T: Serialize, E: Serialize> Serialize for std::result::Result<T, E> {
+    fn to_value(&self) -> Value {
+        match self {
+            Ok(v) => Value::Map(vec![("Ok".to_owned(), v.to_value())]),
+            Err(e) => Value::Map(vec![("Err".to_owned(), e.to_value())]),
+        }
+    }
+}
+
+impl<T: Deserialize, E: Deserialize> Deserialize for std::result::Result<T, E> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(entries) if entries.len() == 1 => match entries[0].0.as_str() {
+                "Ok" => Ok(Ok(T::from_value(&entries[0].1)?)),
+                "Err" => Ok(Err(E::from_value(&entries[0].1)?)),
+                other => Err(Error::custom(format!(
+                    "expected Ok or Err variant, found {other:?}"
+                ))),
+            },
+            other => type_error("single-entry Result map", other),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => type_error("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => type_error("sequence", other),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_seq() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => type_error("2-element sequence", value),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_seq() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => type_error("3-element sequence", value),
+        }
+    }
+}
+
+/// Serializes a map key the way serde_json does: strings stay strings,
+/// integers are stringified.
+fn key_to_string(key: &Value) -> String {
+    match key {
+        Value::Str(s) => s.clone(),
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("unsupported map key type: {other:?}"),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (key_to_string(&k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    Ok((K::from_value(&Value::Str(k.clone()))?, V::from_value(v)?))
+                })
+                .collect(),
+            other => type_error("map", other),
+        }
+    }
+}

@@ -1,0 +1,513 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! Implemented directly over `proc_macro::TokenTree` (the build environment
+//! has no `syn`/`quote`). The macros parse the deriving item's shape —
+//! struct (named / tuple / unit) or enum (unit / tuple / struct variants,
+//! externally tagged) — and emit `to_value`/`from_value` impls against the
+//! vendored `serde` crate's `Value` data model.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input).parse().expect("generated impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input).parse().expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    let kind = loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // '#' + bracket group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                break id.to_string();
+            }
+            other => panic!("unexpected token before item keyword: {other}"),
+        }
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, got {other}"),
+    };
+    i += 1;
+
+    // Generic parameters: collect the leading ident of each `<...>` segment.
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1usize;
+            let mut expect_param = true;
+            while depth > 0 {
+                match &tokens[i] {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        expect_param = true;
+                    }
+                    TokenTree::Ident(id) if depth == 1 && expect_param => {
+                        generics.push(id.to_string());
+                        expect_param = false;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+
+    let shape = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unsupported struct body: {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        }
+    };
+
+    Input {
+        name,
+        generics,
+        shape,
+    }
+}
+
+/// Parses `name: Type, ...` field lists, skipping attributes and
+/// visibility; types are skipped with angle-bracket depth tracking.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                assert!(
+                    matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+                    "expected `:` after field name"
+                );
+                i += 1;
+                i = skip_type(&tokens, i);
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    i += 1;
+                }
+            }
+            other => panic!("unexpected token in field list: {other}"),
+        }
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a top-level `,` or end of tokens.
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0usize;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes / visibility on the field, then one type.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        count += 1;
+        i = skip_type(&tokens, i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let shape = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        VariantShape::Named(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        VariantShape::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    _ => VariantShape::Unit,
+                };
+                // Skip an explicit discriminant (`= expr`) if present.
+                while i < tokens.len()
+                    && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+                {
+                    i += 1;
+                }
+                i += 1; // consume the comma (or run past the end)
+                variants.push(Variant { name, shape });
+            }
+            other => panic!("unexpected token in enum body: {other}"),
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn generics_split(input: &Input, bound: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_generics = format!(
+        "<{}>",
+        input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let ty_generics = format!("<{}>", input.generics.join(", "));
+    (impl_generics, ty_generics)
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (impl_generics, ty_generics) = generics_split(input, "::serde::Serialize");
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Map(::std::vec![{entries}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Seq(::std::vec![{items}])")
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_owned(),
+        Shape::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "Self::{vname} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "Self::{vname}(__f0) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let pats = (0..*n)
+                                .map(|i| format!("__f{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let items = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "Self::{vname}({pats}) => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Seq(::std::vec![{items}]))]),"
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let pats = fields.join(", ");
+                            let entries = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "Self::{vname} {{ {pats} }} => \
+                                 ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Map(::std::vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (impl_generics, ty_generics) = generics_split(input, "::serde::Deserialize");
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::get_field(__entries, \"{f}\")?)?,"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "let __entries = __value.as_map().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected map for struct `{name}`\"))?;\n\
+                 ::std::result::Result::Ok(Self {{ {inits} }})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__value)?))"
+                .to_owned()
+        }
+        Shape::TupleStruct(n) => {
+            let pats = (0..*n)
+                .map(|i| format!("__v{i}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let inits = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(__v{i})?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "match __value.as_seq() {{\n\
+                     ::std::option::Option::Some([{pats}]) => \
+                     ::std::result::Result::Ok(Self({inits})),\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\
+                     \"expected {n}-element sequence for `{name}`\")),\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct => "::std::result::Result::Ok(Self)".to_owned(),
+        Shape::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+             fn from_value(__value: &::serde::Value) -> \
+             ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| {
+            format!(
+                "\"{0}\" => ::std::result::Result::Ok(Self::{0}),",
+                v.name
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let data_arms = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                VariantShape::Unit => None,
+                VariantShape::Tuple(1) => Some(format!(
+                    "\"{vname}\" => ::std::result::Result::Ok(\
+                     Self::{vname}(::serde::Deserialize::from_value(__inner)?)),"
+                )),
+                VariantShape::Tuple(n) => {
+                    let pats = (0..*n)
+                        .map(|i| format!("__v{i}"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let inits = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(__v{i})?"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    Some(format!(
+                        "\"{vname}\" => match __inner.as_seq() {{\n\
+                             ::std::option::Option::Some([{pats}]) => \
+                             ::std::result::Result::Ok(Self::{vname}({inits})),\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                             \"expected {n}-element sequence for variant `{vname}`\")),\n\
+                         }},"
+                    ))
+                }
+                VariantShape::Named(fields) => {
+                    let inits = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::get_field(__fields, \"{f}\")?)?,"
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join("\n");
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                             let __fields = __inner.as_map().ok_or_else(|| \
+                             ::serde::Error::custom(\
+                             \"expected map for variant `{vname}`\"))?;\n\
+                             ::std::result::Result::Ok(Self::{vname} {{ {inits} }})\n\
+                         }},"
+                    ))
+                }
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    let mut arms = String::new();
+    if !unit_arms.is_empty() {
+        arms.push_str(&format!(
+            "::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\n\
+             __other => ::std::result::Result::Err(::serde::Error::custom(\
+             ::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n}},\n"
+        ));
+    }
+    if !data_arms.is_empty() {
+        arms.push_str(&format!(
+            "::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = (&__entries[0].0, &__entries[0].1);\n\
+                 match __tag.as_str() {{\n{data_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n}}\n}},\n"
+        ));
+    }
+    format!(
+        "match __value {{\n{arms}\
+         _ => ::std::result::Result::Err(::serde::Error::custom(\
+         \"unexpected value for enum `{name}`\")),\n}}"
+    )
+}
