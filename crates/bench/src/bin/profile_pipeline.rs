@@ -1,14 +1,21 @@
 //! Diagnostic: end-to-end mapping time per CPU model (not a paper figure).
+//!
+//! With `--metrics FILE` the run also exports the pipeline's deterministic
+//! counters (eviction samples, CHA tests, simplex pivots, ...) in the same
+//! `coremap-metrics/v1` JSON shape as `core-map fleet --metrics`.
 
-use coremap_bench::map_fleet;
+use coremap_bench::{map_fleet, Options};
 use coremap_fleet::{CloudFleet, CpuModel};
 use std::time::Instant;
 
 fn main() {
-    let fleet = CloudFleet::with_seed(2022);
+    let opts = Options::from_args();
+    let _metrics = opts.metrics_sink();
+    let fleet = CloudFleet::with_seed(opts.seed);
+    let count = opts.instances.unwrap_or(2);
     for model in CpuModel::ALL {
         let t = Instant::now();
-        let mapped = map_fleet(&fleet, model, 2, 1);
+        let mapped = map_fleet(&fleet, model, count.min(model.paper_population()), 1);
         println!(
             "{model}: {:?} for {} instances (serial)",
             t.elapsed(),

@@ -24,10 +24,12 @@ COMMON OPTIONS:
 
 COMMAND OPTIONS:
     map:      --registry <FILE>     append the result to a JSON registry
+              --metrics <FILE>      write pipeline metrics as JSON
     show:     --registry <FILE>     registry to read (required)
               --ppin <HEX>          render only this chip
     fleet:    --instances <N>       instances to survey [default: 10]
               --workers <N>         mapping worker threads [default: all cores]
+              --metrics <FILE>      write campaign metrics as JSON
     channel:  --message <TEXT>      payload              [default: hello]
               --rate <BPS>          bit rate             [default: 2]
               --senders <N>         sender count         [default: 1]
@@ -42,6 +44,7 @@ pub enum Command {
         index: usize,
         seed: u64,
         registry: Option<String>,
+        metrics: Option<String>,
     },
     /// Render stored maps.
     Show { registry: String, ppin: Option<u64> },
@@ -51,6 +54,7 @@ pub enum Command {
         instances: usize,
         seed: u64,
         workers: Option<usize>,
+        metrics: Option<String>,
     },
     /// Thermal covert channel transfer.
     Channel {
@@ -105,6 +109,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut index = 0usize;
     let mut seed = 2022u64;
     let mut registry: Option<String> = None;
+    let mut metrics: Option<String> = None;
     let mut ppin: Option<u64> = None;
     let mut instances = 10usize;
     let mut workers: Option<usize> = None;
@@ -131,6 +136,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .map_err(|_| "--seed must be a number".to_string())?
             }
             "--registry" => registry = Some(o.value("--registry")?),
+            "--metrics" => metrics = Some(o.value("--metrics")?),
             "--ppin" => {
                 let raw = o.value("--ppin")?;
                 let raw = raw.trim_start_matches("0x");
@@ -175,6 +181,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             index,
             seed,
             registry,
+            metrics,
         }),
         "show" => Ok(Command::Show {
             registry: registry.ok_or("show requires --registry <FILE>")?,
@@ -185,6 +192,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             instances,
             seed,
             workers,
+            metrics,
         }),
         "channel" => Ok(Command::Channel {
             model,
@@ -217,9 +225,25 @@ mod tests {
                 model: CpuModel::Platinum8259CL,
                 index: 0,
                 seed: 2022,
-                registry: None
+                registry: None,
+                metrics: None
             }
         );
+    }
+
+    #[test]
+    fn metrics_flag_parses_on_map_and_fleet() {
+        let cmd = parse(&argv("map --metrics out.json")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Map { metrics: Some(ref f), .. } if f == "out.json"
+        ));
+        let cmd = parse(&argv("fleet --instances 2 --metrics m.json")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Fleet { metrics: Some(ref f), instances: 2, .. } if f == "m.json"
+        ));
+        assert!(parse(&argv("map --metrics")).is_err());
     }
 
     #[test]
@@ -268,7 +292,8 @@ mod tests {
                 model: CpuModel::Gold6354,
                 instances: 4,
                 seed: 2022,
-                workers: Some(3)
+                workers: Some(3),
+                metrics: None
             }
         );
         assert!(matches!(

@@ -3,10 +3,12 @@
 use std::error::Error;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::sync::Arc;
 
 use coremap_core::{verify, CoreMapper};
 use coremap_fleet::{CloudFleet, CloudInstance, CpuModel, FleetRunner, MapRegistry, SurveyStats};
 use coremap_mesh::{OsCoreId, Ppin};
+use coremap_obs as obs;
 use coremap_thermal::encoding::{bits_to_bytes, bytes_to_bits};
 use coremap_thermal::power::ThermalNoise;
 use coremap_thermal::{ChannelConfig, ThermalParams, ThermalSim};
@@ -27,14 +29,16 @@ pub fn run(cmd: Command) -> CliResult {
             index,
             seed,
             registry,
-        } => map(model, index, seed, registry),
+            metrics,
+        } => map(model, index, seed, registry, metrics),
         Command::Show { registry, ppin } => show(&registry, ppin),
         Command::Fleet {
             model,
             instances,
             seed,
             workers,
-        } => fleet_survey(model, instances, seed, workers),
+            metrics,
+        } => fleet_survey(model, instances, seed, workers, metrics),
         Command::Channel {
             model,
             index,
@@ -66,7 +70,32 @@ fn map_instance(
     Ok((instance, map))
 }
 
-fn map(model: CpuModel, index: usize, seed: u64, registry: Option<String>) -> CliResult {
+/// Opens a metrics scope when `--metrics` was given: installs a fresh
+/// registry for the duration of the returned guard; [`write_metrics`]
+/// exports it afterwards.
+fn metrics_scope(path: &Option<String>) -> Option<(Arc<obs::Registry>, obs::InstallGuard)> {
+    path.as_ref().map(|_| {
+        let reg = Arc::new(obs::Registry::new());
+        let guard = obs::install(reg.clone());
+        (reg, guard)
+    })
+}
+
+/// Writes the registry's deterministic metrics as JSON to `path`.
+fn write_metrics(reg: &obs::Registry, path: &str) -> CliResult {
+    std::fs::write(path, reg.to_json(false))?;
+    eprintln!("metrics written: {path}");
+    Ok(())
+}
+
+fn map(
+    model: CpuModel,
+    index: usize,
+    seed: u64,
+    registry: Option<String>,
+    metrics: Option<String>,
+) -> CliResult {
+    let scope = metrics_scope(&metrics);
     let (_, map) = map_instance(model, index, seed)?;
     println!("{}", map.render());
     if let Some(path) = registry {
@@ -77,6 +106,10 @@ fn map(model: CpuModel, index: usize, seed: u64, registry: Option<String>) -> Cl
         reg.insert(map);
         reg.save(BufWriter::new(File::create(&path)?))?;
         println!("registry updated: {path} ({} chips)", reg.len());
+    }
+    if let (Some((reg, guard)), Some(path)) = (scope, metrics) {
+        drop(guard);
+        write_metrics(&reg, &path)?;
     }
     Ok(())
 }
@@ -108,7 +141,13 @@ fn show(registry: &str, ppin: Option<u64>) -> CliResult {
     Ok(())
 }
 
-fn fleet_survey(model: CpuModel, instances: usize, seed: u64, workers: Option<usize>) -> CliResult {
+fn fleet_survey(
+    model: CpuModel,
+    instances: usize,
+    seed: u64,
+    workers: Option<usize>,
+    metrics: Option<String>,
+) -> CliResult {
     let fleet = CloudFleet::with_seed(seed);
     let count = instances.min(model.paper_population());
     let runner = workers.map(FleetRunner::new).unwrap_or_default();
@@ -116,6 +155,7 @@ fn fleet_survey(model: CpuModel, instances: usize, seed: u64, workers: Option<us
         "surveying {count} {model} instances on {} worker(s)...",
         runner.workers()
     );
+    let scope = metrics_scope(&metrics);
     let outcome = runner.map_instances(
         &fleet,
         model,
@@ -123,9 +163,14 @@ fn fleet_survey(model: CpuModel, instances: usize, seed: u64, workers: Option<us
         &CoreMapper::new(),
         CloudInstance::boot,
     );
+    if let (Some((reg, guard)), Some(path)) = (scope, &metrics) {
+        drop(guard);
+        write_metrics(&reg, path)?;
+    }
     for (instance, error) in outcome.failures() {
         eprintln!("  instance #{} failed to map: {error}", instance.index());
     }
+    eprintln!("  {}", outcome.summary());
     let stats = SurveyStats::collect(&outcome);
     println!("{model}: {count} instances surveyed");
     println!(

@@ -28,5 +28,5 @@ mod trace;
 pub use coremap_uncore::backend::MachineBackend;
 pub use fault::{FaultPlan, FaultyBackend};
 pub use record::RecordingBackend;
-pub use replay::ReplayBackend;
+pub use replay::{DivergenceReport, ReplayBackend};
 pub use trace::{MachineGeometry, MeasurementTrace, TraceOp};

@@ -1,11 +1,61 @@
 //! The replay backend: re-running the pipeline from a recorded trace.
 
 use std::cell::Cell;
+use std::fmt;
 
 use coremap_mesh::{ChaId, GridDim, OsCoreId};
+use coremap_obs as obs;
 use coremap_uncore::{MsrError, PhysAddr};
 
 use super::{MachineBackend, MeasurementTrace, TraceOp};
+
+/// Operations of leading context included in a [`DivergenceReport`].
+const CONTEXT_OPS: usize = 5;
+
+/// Structured description of a replay divergence: where the replay was,
+/// what the pipeline asked for, what the trace held, and the operations
+/// replayed just before — enough to localise which pipeline change broke
+/// trace compatibility without rerunning under a debugger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceReport {
+    /// Index of the diverging operation in the trace.
+    pub position: usize,
+    /// Total number of operations the trace holds.
+    pub trace_len: usize,
+    /// The operation the pipeline issued, rendered as a call.
+    pub requested: String,
+    /// The operation recorded at `position`; `None` when the trace is
+    /// exhausted (the pipeline issued more operations than were recorded).
+    pub recorded: Option<TraceOp>,
+    /// Up to [`CONTEXT_OPS`] operations successfully replayed immediately
+    /// before the divergence, oldest first.
+    pub context: Vec<TraceOp>,
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "replay divergence at op {} of {}:",
+            self.position, self.trace_len
+        )?;
+        writeln!(f, "  pipeline issued: {}", self.requested)?;
+        match &self.recorded {
+            Some(op) => writeln!(f, "  trace recorded:  {op:?}")?,
+            None => writeln!(f, "  trace recorded:  <exhausted>")?,
+        }
+        if self.context.is_empty() {
+            write!(f, "  no preceding operations (divergence at trace start)")?;
+        } else {
+            write!(f, "  preceding operations:")?;
+            let first = self.position - self.context.len();
+            for (i, op) in self.context.iter().enumerate() {
+                write!(f, "\n    {:>6}: {op:?}", first + i)?;
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Re-executes a recorded [`MeasurementTrace`] with *zero* simulation
 /// behind it: every query answers from the recorded geometry, every
@@ -21,26 +71,17 @@ use super::{MachineBackend, MeasurementTrace, TraceOp};
 ///
 /// Any divergence between what the pipeline asks and what the trace holds
 /// (different operation, different operands, or trace exhaustion) panics
-/// with the operation index and both sides of the mismatch. A divergence
+/// with a rendered [`DivergenceReport`]: the trace position, both sides of
+/// the mismatch, and the operations replayed just before. A divergence
 /// means the pipeline logic changed since the trace was captured — exactly
 /// the loud failure wanted from a regression harness.
+/// [`divergence_report`](Self::divergence_report) builds the same report
+/// without panicking for tooling that wants to inspect it.
 #[derive(Debug, Clone)]
 pub struct ReplayBackend {
     trace: MeasurementTrace,
     // `read_msr` / `home_of` take `&self` but must advance the log.
     cursor: Cell<usize>,
-}
-
-#[cold]
-fn divergence(at: usize, request: String, recorded: Option<&TraceOp>, total: usize) -> ! {
-    match recorded {
-        Some(op) => panic!(
-            "replay divergence at op {at}: pipeline issued {request} but the trace recorded {op:?}"
-        ),
-        None => panic!(
-            "replay divergence at op {at}: pipeline issued {request} but the trace is exhausted ({total} ops)"
-        ),
-    }
 }
 
 impl ReplayBackend {
@@ -50,6 +91,24 @@ impl ReplayBackend {
             trace,
             cursor: Cell::new(0),
         }
+    }
+
+    /// Builds the [`DivergenceReport`] for a mismatch at trace index `at`
+    /// where the pipeline issued `requested`.
+    pub fn divergence_report(&self, at: usize, requested: String) -> DivergenceReport {
+        DivergenceReport {
+            position: at,
+            trace_len: self.trace.ops.len(),
+            requested,
+            recorded: self.trace.ops.get(at).cloned(),
+            context: self.trace.ops[at.saturating_sub(CONTEXT_OPS)..at].to_vec(),
+        }
+    }
+
+    #[cold]
+    fn diverge(&self, at: usize, requested: String) -> ! {
+        obs::inc("core.replay.divergences");
+        panic!("{}", self.divergence_report(at, requested))
     }
 
     /// Index of the next operation to be replayed.
@@ -78,12 +137,7 @@ impl MachineBackend for ReplayBackend {
     fn read_msr(&self, addr: u32) -> Result<u64, MsrError> {
         match self.next_op() {
             (_, Some(TraceOp::ReadMsr { addr: a, result })) if *a == addr => *result,
-            (at, other) => divergence(
-                at,
-                format!("read_msr({addr:#x})"),
-                other,
-                self.trace.ops.len(),
-            ),
+            (at, _) => self.diverge(at, format!("read_msr({addr:#x})")),
         }
     }
 
@@ -97,12 +151,7 @@ impl MachineBackend for ReplayBackend {
                     result,
                 }),
             ) if *a == addr && *v == value => *result,
-            (at, other) => divergence(
-                at,
-                format!("write_msr({addr:#x}, {value:#x})"),
-                other,
-                self.trace.ops.len(),
-            ),
+            (at, _) => self.diverge(at, format!("write_msr({addr:#x}, {value:#x})")),
         }
     }
 
@@ -138,7 +187,7 @@ impl MachineBackend for ReplayBackend {
     fn home_of(&self, pa: PhysAddr) -> ChaId {
         match self.next_op() {
             (_, Some(TraceOp::HomeOf { pa: p, cha })) if *p == pa.value() => ChaId::new(*cha),
-            (at, other) => divergence(at, format!("home_of({pa})"), other, self.trace.ops.len()),
+            (at, _) => self.diverge(at, format!("home_of({pa})")),
         }
     }
 
@@ -146,12 +195,7 @@ impl MachineBackend for ReplayBackend {
         match self.next_op() {
             (_, Some(TraceOp::WriteLine { core: c, pa: p }))
                 if *c as usize == core.index() && *p == pa.value() => {}
-            (at, other) => divergence(
-                at,
-                format!("write_line({core}, {pa})"),
-                other,
-                self.trace.ops.len(),
-            ),
+            (at, _) => self.diverge(at, format!("write_line({core}, {pa})")),
         }
     }
 
@@ -159,19 +203,14 @@ impl MachineBackend for ReplayBackend {
         match self.next_op() {
             (_, Some(TraceOp::ReadLine { core: c, pa: p }))
                 if *c as usize == core.index() && *p == pa.value() => {}
-            (at, other) => divergence(
-                at,
-                format!("read_line({core}, {pa})"),
-                other,
-                self.trace.ops.len(),
-            ),
+            (at, _) => self.diverge(at, format!("read_line({core}, {pa})")),
         }
     }
 
     fn flush_caches(&mut self) {
         match self.next_op() {
             (_, Some(TraceOp::FlushCaches)) => {}
-            (at, other) => divergence(at, "flush_caches()".to_owned(), other, self.trace.ops.len()),
+            (at, _) => self.diverge(at, "flush_caches()".to_owned()),
         }
     }
 

@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 
 use coremap_mesh::{ChaId, OsCoreId};
+use coremap_obs as obs;
 use coremap_uncore::PhysAddr;
 use rand::Rng;
 
@@ -106,12 +107,15 @@ pub fn build_all_sets<T: MachineBackend, R: Rng>(
         let group = rng.gen_range(0..set_groups);
         let line_idx = group * sets as u64 + target_set as u64;
         let pa = PhysAddr::new(line_idx << 6);
+        obs::inc("core.eviction.samples");
         let home = probe_home(machine, pa, probe_iters)?;
         if done[home.index()].is_some() {
+            obs::inc("core.eviction.redundant");
             continue;
         }
         let bucket = buckets.entry(home.index()).or_default();
         if bucket.contains(&pa) {
+            obs::inc("core.eviction.redundant");
             continue;
         }
         bucket.push(pa);
@@ -121,6 +125,7 @@ pub fn build_all_sets<T: MachineBackend, R: Rng>(
                 l2_set: target_set,
                 lines: bucket.clone(),
             });
+            obs::inc("core.eviction.sets_built");
             remaining -= 1;
         }
     }

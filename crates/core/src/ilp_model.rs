@@ -160,8 +160,11 @@ pub fn reconstruct(obs: &ObservationSet, dim: GridDim) -> Result<Reconstruction,
 
     // ---- Vertical bounding boxes (Eq. 1), deduplicated per class pair ----
     // (a, b) in `ge1` means R_a >= R_b + 1; in `ge0` means R_a >= R_b.
-    let mut ge1: HashSet<(usize, usize)> = HashSet::new();
-    let mut ge0: HashSet<(usize, usize)> = HashSet::new();
+    // Ordered sets: these are iterated to emit constraints, and constraint
+    // order must not vary run-to-run (bound propagation work is order
+    // sensitive, and the metrics export pins it).
+    let mut ge1: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut ge0: BTreeSet<(usize, usize)> = BTreeSet::new();
     for p in &obs.paths {
         let s = row_class[p.source.index()];
         let e = row_class[p.sink.index()];

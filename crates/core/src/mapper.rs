@@ -1,6 +1,7 @@
 //! End-to-end mapping pipeline driver.
 
 use coremap_mesh::Ppin;
+use coremap_obs as obs;
 use coremap_uncore::msr::MSR_PPIN;
 use coremap_uncore::RingClass;
 use rand::SeedableRng;
@@ -127,35 +128,47 @@ impl CoreMapper {
         let ppin = Ppin::new(machine.read_msr(MSR_PPIN)?);
 
         // Step 1a: slice eviction sets via LLC-lookup probing.
-        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        let sets = eviction::build_all_sets(machine, &mut rng, self.config.probe_iters)?;
+        let sets = {
+            let _span = obs::time("core.map.stage.eviction");
+            let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+            eviction::build_all_sets(machine, &mut rng, self.config.probe_iters)?
+        };
 
         // Step 1b: OS core ID <-> CHA ID mapping.
-        let mapping = cha_map::discover(machine, &sets, self.config.thrash_rounds)?;
+        let mapping = {
+            let _span = obs::time("core.map.stage.cha_map");
+            cha_map::discover(machine, &sets, self.config.thrash_rounds)?
+        };
 
         // Step 2: all-pairs traffic observation on the configured ring.
-        let observations = match self.config.ring {
-            RingClass::Bl => traffic::observe_all(
-                machine,
-                &mapping,
-                &sets,
-                self.config.ping_iters,
-                self.config.pair_stride,
-            )?,
-            RingClass::Ad => traffic::observe_all_ad(
-                machine,
-                &mapping,
-                &sets,
-                (self.config.ping_iters / 8).max(2),
-            )?,
-            RingClass::Iv => return Err(MapError::InconsistentObservations),
+        let observations = {
+            let _span = obs::time("core.map.stage.traffic");
+            match self.config.ring {
+                RingClass::Bl => traffic::observe_all(
+                    machine,
+                    &mapping,
+                    &sets,
+                    self.config.ping_iters,
+                    self.config.pair_stride,
+                )?,
+                RingClass::Ad => traffic::observe_all_ad(
+                    machine,
+                    &mapping,
+                    &sets,
+                    (self.config.ping_iters / 8).max(2),
+                )?,
+                RingClass::Iv => return Err(MapError::InconsistentObservations),
+            }
         };
 
         // Step 3: ILP reconstruction.
-        let rec = if self.config.full_formulation {
-            ilp_model::reconstruct_full(&observations, machine.grid_dim())?
-        } else {
-            ilp_model::reconstruct(&observations, machine.grid_dim())?
+        let rec = {
+            let _span = obs::time("core.map.stage.ilp");
+            if self.config.full_formulation {
+                ilp_model::reconstruct_full(&observations, machine.grid_dim())?
+            } else {
+                ilp_model::reconstruct(&observations, machine.grid_dim())?
+            }
         };
 
         let map = CoreMap::new(
@@ -171,6 +184,7 @@ impl CoreMapper {
             ilp_objective: rec.objective,
             machine_ops: machine.op_count(),
         };
+        obs::add("core.machine.ops", diagnostics.machine_ops);
         Ok((map, diagnostics))
     }
 }

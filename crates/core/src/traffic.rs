@@ -18,6 +18,7 @@
 //! scrambled by the odd-column flip and carry direction ambiguity.
 
 use coremap_mesh::{ChaId, OsCoreId};
+use coremap_obs as obs;
 use coremap_uncore::ChannelCounts;
 use serde::{Deserialize, Serialize};
 
@@ -166,6 +167,7 @@ pub fn observe_core_pair<T: MachineBackend>(
     line_homed_at_sink: coremap_uncore::PhysAddr,
     iters: usize,
 ) -> Result<PathObservation, MapError> {
+    obs::inc("core.traffic.core_pair_obs");
     machine.flush_caches();
     // Warm up: first write pulls the line from the sink-side home into the
     // source's L2 — opposite-direction traffic we must keep out of the
@@ -198,6 +200,7 @@ pub fn observe_slice_to_core<T: MachineBackend>(
     sink: OsCoreId,
     rounds: usize,
 ) -> Result<PathObservation, MapError> {
+    obs::inc("core.traffic.slice_obs");
     machine.flush_caches();
     monitor::arm_ring(machine)?;
     monitor::reset_all(machine)?;
@@ -291,6 +294,7 @@ pub fn observe_all_ad<T: MachineBackend>(
             if set.cha == src_cha {
                 continue;
             }
+            obs::inc("core.traffic.ad_obs");
             machine.flush_caches();
             monitor::arm_ring_on(machine, coremap_uncore::RingClass::Ad)?;
             monitor::reset_all(machine)?;

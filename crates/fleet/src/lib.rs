@@ -53,4 +53,4 @@ pub use error::FleetError;
 pub use fleet::{CloudFleet, CloudInstance};
 pub use model::CpuModel;
 pub use registry::MapRegistry;
-pub use runner::{FleetOutcome, FleetRunner, SurveyStats};
+pub use runner::{FleetOutcome, FleetRunner, JobFailure, SurveyStats};

@@ -7,18 +7,84 @@
 //! instance order* so the output is independent of worker count and
 //! scheduling. [`FleetRunner`] is that harness; a failing instance becomes
 //! an `Err` entry in the [`FleetOutcome`] instead of aborting the whole
-//! campaign.
+//! campaign — including an instance that *panics*, which is caught and
+//! reported as [`JobFailure::Panic`] without disturbing its siblings.
+//!
+//! The runner is also the aggregation point of the observability layer:
+//! each instance records into its own [`coremap_obs::Registry`], and the
+//! sub-registries are merged into the caller's registry *in instance
+//! order*, so the deterministic metric snapshot is independent of the
+//! worker count.
 
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use coremap_core::backend::MachineBackend;
 use coremap_core::{verify, CoreMap, CoreMapper, MapError};
+use coremap_obs as obs;
 
 use crate::stats::{IdMappingStats, PatternStats};
 use crate::{CloudFleet, CloudInstance, CpuModel};
 
 /// Per-instance result slots, filled as workers finish.
-type ResultSlots<T, E> = Mutex<Vec<Option<(CloudInstance, Result<T, E>)>>>;
+type ResultSlots<T, E> = Mutex<Vec<Option<(CloudInstance, Result<T, JobFailure<E>>)>>>;
+
+/// Per-instance metric sub-registries, filled as workers finish.
+type RegistrySlots = Mutex<Vec<Option<Arc<obs::Registry>>>>;
+
+/// Locks `m`, recovering the data even if a previous holder panicked.
+///
+/// Every write the runner makes under these mutexes is a self-contained
+/// single-slot update, so a poisoned lock never leaves the shared state
+/// torn — it only means some other slot's job died, which the outcome
+/// already reports per instance.
+fn lock_clean<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders a caught panic payload as text for [`JobFailure::Panic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Why one instance of a fleet campaign produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobFailure<E> {
+    /// The job returned its own error.
+    Job(E),
+    /// The job panicked; the payload is rendered as text.
+    Panic(String),
+}
+
+impl<E> JobFailure<E> {
+    /// The job's own error, if the failure was not a panic.
+    pub fn job_error(&self) -> Option<&E> {
+        match self {
+            Self::Job(e) => Some(e),
+            Self::Panic(_) => None,
+        }
+    }
+
+    /// Whether this failure was a caught panic.
+    pub fn is_panic(&self) -> bool {
+        matches!(self, Self::Panic(_))
+    }
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for JobFailure<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Job(e) => e.fmt(f),
+            Self::Panic(msg) => write!(f, "panicked: {msg}"),
+        }
+    }
+}
 
 /// A work-queue thread pool over the instances of one fleet model.
 ///
@@ -50,6 +116,16 @@ impl FleetRunner {
     /// Runs `job` once per instance `0..count` of `model`, returning
     /// per-instance results in instance order.
     ///
+    /// A panicking job does not abort the campaign: the panic is caught on
+    /// the worker, reported as [`JobFailure::Panic`] for that one
+    /// instance, and the worker moves on to the next queue entry.
+    ///
+    /// If a metrics registry is installed on the calling thread
+    /// ([`coremap_obs::install`]), each job records into a fresh
+    /// per-instance sub-registry; the sub-registries are merged into the
+    /// caller's registry in instance order, together with the campaign
+    /// counters `fleet.instances.{ok,err,panicked}`.
+    ///
     /// # Panics
     ///
     /// Panics if `count` exceeds the model's population — a caller bug,
@@ -66,29 +142,71 @@ impl FleetRunner {
         E: Send,
         F: Fn(&CloudInstance) -> Result<T, E> + Sync,
     {
+        let instrumented = obs::current().is_some();
         let queue: Mutex<Vec<usize>> = Mutex::new((0..count).rev().collect());
         let results: ResultSlots<T, E> = Mutex::new((0..count).map(|_| None).collect());
+        let registries: RegistrySlots = Mutex::new((0..count).map(|_| None).collect());
         std::thread::scope(|scope| {
-            for _ in 0..self.workers.min(count.max(1)) {
-                scope.spawn(|| loop {
-                    let idx = match queue.lock().expect("queue lock").pop() {
+            for worker in 0..self.workers.min(count.max(1)) {
+                let (queue, results, registries, job) = (&queue, &results, &registries, &job);
+                scope.spawn(move || loop {
+                    let idx = match lock_clean(queue).pop() {
                         Some(i) => i,
                         None => break,
                     };
                     let instance = fleet.instance(model, idx).expect("index below population");
-                    let result = job(&instance);
-                    results.lock().expect("results lock")[idx] = Some((instance, result));
+                    let sub = instrumented.then(|| Arc::new(obs::Registry::new()));
+                    let start = std::time::Instant::now();
+                    let result = {
+                        let _scope = sub.clone().map(obs::install);
+                        catch_unwind(AssertUnwindSafe(|| job(&instance)))
+                    };
+                    let result = match result {
+                        Ok(Ok(v)) => Ok(v),
+                        Ok(Err(e)) => Err(JobFailure::Job(e)),
+                        Err(payload) => Err(JobFailure::Panic(panic_message(payload))),
+                    };
+                    if let Some(sub) = &sub {
+                        sub.set_gauge_volatile(
+                            &format!("fleet.instance.{idx:04}.wall_us"),
+                            start.elapsed().as_micros() as f64,
+                        );
+                        sub.add_volatile(&format!("fleet.worker.{worker:02}.jobs"), 1);
+                    }
+                    lock_clean(results)[idx] = Some((instance, result));
+                    lock_clean(registries)[idx] = sub;
                 });
             }
         });
-        FleetOutcome {
-            results: results
+        let results: Vec<_> = results
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .into_iter()
+            .map(|r| r.expect("every index processed"))
+            .collect();
+        if instrumented {
+            // Instance-order merge: counter and histogram merges commute,
+            // but gauge collisions resolve last-wins, so a fixed order keeps
+            // the snapshot independent of worker scheduling.
+            let subs = registries
                 .into_inner()
-                .expect("results lock")
-                .into_iter()
-                .map(|r| r.expect("every index processed"))
-                .collect(),
+                .unwrap_or_else(PoisonError::into_inner);
+            for sub in subs.into_iter().flatten() {
+                obs::current().expect("still installed").merge(&sub);
+            }
+            let (mut ok, mut errs, mut panics) = (0u64, 0u64, 0u64);
+            for (_, r) in &results {
+                match r {
+                    Ok(_) => ok += 1,
+                    Err(JobFailure::Job(_)) => errs += 1,
+                    Err(JobFailure::Panic(_)) => panics += 1,
+                }
+            }
+            obs::add("fleet.instances.ok", ok);
+            obs::add("fleet.instances.err", errs);
+            obs::add("fleet.instances.panicked", panics);
         }
+        FleetOutcome { results }
     }
 
     /// Maps instances `0..count` of `model` with `mapper`, booting each
@@ -112,9 +230,15 @@ impl FleetRunner {
     {
         self.run(fleet, model, count, |instance| {
             let mut machine = boot(instance);
-            mapper
-                .map(&mut machine)
-                .map(|m| m.with_template(model.template()))
+            mapper.map_with_diagnostics(&mut machine).map(|(m, diag)| {
+                // Deterministic per-instance cost proxy: machine operations
+                // issued, unlike wall time, are identical across reruns.
+                obs::set_gauge(
+                    &format!("fleet.instance.{:04}.ops", instance.index()),
+                    diag.machine_ops as f64,
+                );
+                m.with_template(model.template())
+            })
         })
     }
 }
@@ -132,7 +256,7 @@ impl Default for FleetRunner {
 /// Per-instance results of a fleet campaign, in instance order.
 #[derive(Debug)]
 pub struct FleetOutcome<T, E> {
-    results: Vec<(CloudInstance, Result<T, E>)>,
+    results: Vec<(CloudInstance, Result<T, JobFailure<E>>)>,
 }
 
 impl<T, E> FleetOutcome<T, E> {
@@ -147,7 +271,7 @@ impl<T, E> FleetOutcome<T, E> {
     }
 
     /// All per-instance results, in instance order.
-    pub fn iter(&self) -> impl Iterator<Item = &(CloudInstance, Result<T, E>)> {
+    pub fn iter(&self) -> impl Iterator<Item = &(CloudInstance, Result<T, JobFailure<E>>)> {
         self.results.iter()
     }
 
@@ -158,16 +282,41 @@ impl<T, E> FleetOutcome<T, E> {
             .filter_map(|(i, r)| r.as_ref().ok().map(|v| (i, v)))
     }
 
-    /// Failed instances, in instance order.
-    pub fn failures(&self) -> impl Iterator<Item = (&CloudInstance, &E)> {
+    /// Failed instances (job errors and caught panics), in instance order.
+    pub fn failures(&self) -> impl Iterator<Item = (&CloudInstance, &JobFailure<E>)> {
         self.results
             .iter()
             .filter_map(|(i, r)| r.as_ref().err().map(|e| (i, e)))
     }
 
-    /// Number of failed instances.
+    /// Number of failed instances (including panicked ones).
     pub fn failure_count(&self) -> usize {
         self.results.iter().filter(|(_, r)| r.is_err()).count()
+    }
+
+    /// Number of instances whose job panicked.
+    pub fn panic_count(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|(_, r)| matches!(r, Err(f) if f.is_panic()))
+            .count()
+    }
+
+    /// One-line progress summary of the campaign, e.g.
+    /// `"6 instances: 5 ok, 1 failed (1 panicked)"`.
+    pub fn summary(&self) -> String {
+        let failed = self.failure_count();
+        let panicked = self.panic_count();
+        let mut s = format!(
+            "{} instances: {} ok, {} failed",
+            self.len(),
+            self.len() - failed,
+            failed
+        );
+        if panicked > 0 {
+            s.push_str(&format!(" ({panicked} panicked)"));
+        }
+        s
     }
 
     /// Consumes the outcome, keeping only successes (skip-and-count
@@ -248,5 +397,53 @@ mod tests {
             .map(|(_, v)| v)
             .collect();
         assert_eq!(kept, vec![0, 2]);
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_per_instance() {
+        let fleet = CloudFleet::with_seed(9);
+        let outcome = FleetRunner::new(2).run(&fleet, CpuModel::Gold6354, 4, |instance| {
+            if instance.index() == 2 {
+                panic!("deliberate test panic on #{}", instance.index());
+            }
+            Ok::<usize, String>(instance.index())
+        });
+        assert_eq!(outcome.len(), 4);
+        assert_eq!(outcome.failure_count(), 1);
+        assert_eq!(outcome.panic_count(), 1);
+        let (instance, failure) = outcome.failures().next().unwrap();
+        assert_eq!(instance.index(), 2);
+        assert!(
+            matches!(failure, JobFailure::Panic(msg) if msg.contains("deliberate test panic")),
+            "{failure}"
+        );
+        let ok: Vec<usize> = outcome.successes().map(|(_, &v)| v).collect();
+        assert_eq!(ok, vec![0, 1, 3]);
+        assert_eq!(
+            outcome.summary(),
+            "4 instances: 3 ok, 1 failed (1 panicked)"
+        );
+    }
+
+    #[test]
+    fn campaign_counters_land_in_installed_registry() {
+        let fleet = CloudFleet::with_seed(9);
+        let reg = Arc::new(obs::Registry::new());
+        let _g = obs::install(reg.clone());
+        let outcome = FleetRunner::new(3).run(&fleet, CpuModel::Gold6354, 5, |instance| {
+            obs::inc("test.job.runs");
+            match instance.index() {
+                1 => Err::<usize, String>("rejected".into()),
+                3 => panic!("boom"),
+                i => Ok(i),
+            }
+        });
+        assert_eq!(outcome.failure_count(), 2);
+        assert_eq!(reg.counter_value("fleet.instances.ok"), 3);
+        assert_eq!(reg.counter_value("fleet.instances.err"), 1);
+        assert_eq!(reg.counter_value("fleet.instances.panicked"), 1);
+        // Per-instance sub-registries merged back: even the panicked job's
+        // partial metrics survive.
+        assert_eq!(reg.counter_value("test.job.runs"), 5);
     }
 }

@@ -1,5 +1,7 @@
 //! Branch & bound over the LP relaxations.
 
+use coremap_obs as obs;
+
 use crate::model::{Model, VarKind};
 use crate::simplex::{solve_lp, LpOutcome, LpProblem, LpRow, FEAS_TOL};
 use crate::solution::{Solution, SolveStats, Status};
@@ -91,10 +93,12 @@ pub(crate) fn solve(model: &Model, cfg: &BbConfig) -> Result<Solution, SolveErro
             };
         }
         stats.nodes += 1;
+        obs::inc("ilp.bb.nodes");
 
         // Prune on the parent bound before paying for the LP.
         if let Some((_, inc_obj)) = &incumbent {
             if node.parent_bound >= *inc_obj - 1e-9 {
+                obs::inc("ilp.bb.pruned");
                 continue;
             }
         }
@@ -119,6 +123,7 @@ pub(crate) fn solve(model: &Model, cfg: &BbConfig) -> Result<Solution, SolveErro
 
         if let Some((_, inc_obj)) = &incumbent {
             if bound >= *inc_obj - 1e-9 {
+                obs::inc("ilp.bb.pruned");
                 continue;
             }
         }
@@ -134,7 +139,10 @@ pub(crate) fn solve(model: &Model, cfg: &BbConfig) -> Result<Solution, SolveErro
                 }
                 match &incumbent {
                     Some((_, inc_obj)) if bound >= *inc_obj => {}
-                    _ => incumbent = Some((values, bound)),
+                    _ => {
+                        obs::inc("ilp.bb.incumbents");
+                        incumbent = Some((values, bound));
+                    }
                 }
             }
             Some(j) => {

@@ -14,6 +14,8 @@
 
 use std::collections::HashMap;
 
+use coremap_obs as obs;
+
 use crate::model::{Cmp, Model, VarKind};
 use crate::{Solution, SolveError, Var};
 
@@ -247,6 +249,7 @@ pub fn propagate_bounds_once(
 ) -> Result<bool, SolveError> {
     const TOL: f64 = 1e-9;
     let mut changed = false;
+    let mut tightenings = 0u64;
     for (terms, cmp, rhs) in constraints {
         // Pre-compute each term's activity range.
         let ranges: Vec<(f64, f64)> = terms
@@ -289,6 +292,7 @@ pub fn propagate_bounds_once(
                 }
                 if l > bounds[j].0 + TOL || u < bounds[j].1 - TOL {
                     changed = true;
+                    tightenings += 1;
                 }
                 bounds[j] = (l.max(bounds[j].0), u.min(bounds[j].1));
             };
@@ -298,10 +302,12 @@ pub fn propagate_bounds_once(
                 Cmp::Eq => apply(Some(rhs - rest_min), Some(rhs - rest_max)),
             }
             if bounds[j].0 > bounds[j].1 + TOL {
+                obs::add("ilp.presolve.tightenings", tightenings);
                 return Err(SolveError::Infeasible);
             }
         }
     }
+    obs::add("ilp.presolve.tightenings", tightenings);
     Ok(changed)
 }
 

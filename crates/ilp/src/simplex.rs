@@ -16,6 +16,8 @@
 // rewrites obscure the math without removing a bounds check.
 #![allow(clippy::needless_range_loop)]
 
+use coremap_obs as obs;
+
 use crate::{Cmp, SolveError};
 
 /// Feasibility / integrality tolerance used throughout the solver.
@@ -75,6 +77,22 @@ pub enum LpOutcome {
 /// exceeded (indicates numerical trouble; the limit scales with problem
 /// size).
 pub fn solve_lp(p: &LpProblem) -> Result<LpOutcome, SolveError> {
+    solve_lp_with_bland_switch(p, BLAND_SWITCH)
+}
+
+/// [`solve_lp`] with an explicit Dantzig→Bland switch threshold.
+///
+/// The threshold compares against the *cumulative* pivot count of the
+/// solve: once crossed — in either phase — every later pivot of the same
+/// solve uses Bland's rule. Resetting the count at the phase-1→phase-2
+/// transition would let a degenerate phase-2 basis revert to Dantzig
+/// pricing and cycle, which is exactly the failure mode the guard exists
+/// to prevent; `pub(crate)` so the anti-cycling tests can cross a tiny
+/// threshold without a 2000-pivot warm-up.
+pub(crate) fn solve_lp_with_bland_switch(
+    p: &LpProblem,
+    bland_switch: usize,
+) -> Result<LpOutcome, SolveError> {
     debug_assert_eq!(p.objective.len(), p.n);
     debug_assert_eq!(p.bounds.len(), p.n);
 
@@ -241,6 +259,12 @@ pub fn solve_lp(p: &LpProblem) -> Result<LpOutcome, SolveError> {
 
     let iter_limit = 200 * (m + total) + 10_000;
     let mut iterations = 0usize;
+    let record_pivots = |iterations: usize| {
+        obs::add("ilp.simplex.pivots", iterations as u64);
+        if iterations > bland_switch {
+            obs::inc("ilp.simplex.bland_switches");
+        }
+    };
 
     // --- Phase 1 ----------------------------------------------------------
     let allow_all = |_: usize| true;
@@ -253,11 +277,13 @@ pub fn solve_lp(p: &LpProblem) -> Result<LpOutcome, SolveError> {
         width,
         total,
         allow_all,
+        bland_switch,
         iter_limit,
         &mut iterations,
     )?;
     let phase1_obj = -cost1[total];
     if phase1_obj > 1e-6 {
+        record_pivots(iterations);
         return Ok(LpOutcome::Infeasible);
     }
 
@@ -275,6 +301,8 @@ pub fn solve_lp(p: &LpProblem) -> Result<LpOutcome, SolveError> {
     }
 
     // --- Phase 2 ----------------------------------------------------------
+    // `iterations` carries over: the anti-cycling switch must not reset at
+    // the phase transition.
     let mut dummy = cost1; // phase-1 row no longer needed
     let outcome = run_simplex(
         &mut tab,
@@ -285,10 +313,12 @@ pub fn solve_lp(p: &LpProblem) -> Result<LpOutcome, SolveError> {
         width,
         art_start, // artificial columns barred
         |_| true,
+        bland_switch,
         iter_limit,
         &mut iterations,
     )?;
     dummy.clear();
+    record_pivots(iterations);
     if let Phase::Unbounded = outcome {
         return Ok(LpOutcome::Unbounded);
     }
@@ -321,6 +351,11 @@ enum Phase {
 /// unboundedness. `col_limit` restricts which columns may enter the basis
 /// (used to bar artificials in phase 2). `aux_cost` is a second cost row
 /// kept consistent by the same pivots (phase-2 costs during phase 1).
+///
+/// The Dantzig→Bland anti-cycling decision compares `bland_switch` against
+/// the solve-wide `iterations` count, which the caller threads through
+/// both phases — a per-call counter would reset at the phase transition
+/// and reopen the cycling window on degenerate bases.
 #[allow(clippy::too_many_arguments)]
 fn run_simplex(
     tab: &mut [f64],
@@ -331,16 +366,16 @@ fn run_simplex(
     width: usize,
     col_limit: usize,
     allow: impl Fn(usize) -> bool,
+    bland_switch: usize,
     iter_limit: usize,
     iterations: &mut usize,
 ) -> Result<Phase, SolveError> {
-    let mut local_iters = 0usize;
     loop {
         if *iterations >= iter_limit {
             return Err(SolveError::IterationLimit);
         }
         // Pricing: Dantzig first, Bland's rule once we suspect cycling.
-        let bland = local_iters > BLAND_SWITCH;
+        let bland = *iterations > bland_switch;
         let mut enter = None;
         if bland {
             for j in 0..col_limit {
@@ -386,7 +421,6 @@ fn run_simplex(
         pivot(tab, cost, aux_cost.as_deref_mut(), m, width, leave, enter);
         basis[leave] = enter;
         *iterations += 1;
-        local_iters += 1;
     }
 }
 
@@ -661,5 +695,129 @@ mod tests {
         );
         let (x, _) = optimal(&p);
         assert!((x[0] - 2.0).abs() < 1e-6);
+    }
+
+    /// Beale's classic cycling example: highly degenerate, known to cycle
+    /// forever under naive Dantzig pricing with certain tie-breaks.
+    /// Optimum: x = (1/25, 0, 1, 0), objective -0.05.
+    fn beale() -> LpProblem {
+        lp(
+            4,
+            vec![-0.75, 150.0, -0.02, 6.0],
+            vec![
+                LpRow {
+                    coeffs: vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+                    cmp: Cmp::Le,
+                    rhs: 0.0,
+                },
+                LpRow {
+                    coeffs: vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+                    cmp: Cmp::Le,
+                    rhs: 0.0,
+                },
+                LpRow {
+                    coeffs: vec![(2, 1.0)],
+                    cmp: Cmp::Le,
+                    rhs: 1.0,
+                },
+            ],
+            vec![(0.0, 1e4); 4],
+        )
+    }
+
+    #[test]
+    fn beale_cycling_lp_reaches_optimum() {
+        let (x, obj) = optimal(&beale());
+        assert!((obj + 0.05).abs() < 1e-6, "obj={obj}");
+        assert!((x[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bland_pricing_from_the_first_pivot_still_optimal() {
+        // Force Bland's rule immediately: termination is guaranteed and the
+        // optimum must match Dantzig's.
+        for p in [beale(), {
+            lp(
+                2,
+                vec![1.0, 1.0],
+                vec![
+                    LpRow {
+                        coeffs: vec![(0, 1.0), (1, 1.0)],
+                        cmp: Cmp::Ge,
+                        rhs: 2.0,
+                    },
+                    LpRow {
+                        coeffs: vec![(0, 1.0), (1, -1.0)],
+                        cmp: Cmp::Eq,
+                        rhs: 1.0,
+                    },
+                ],
+                vec![(0.0, 10.0), (0.0, 10.0)],
+            )
+        }] {
+            let dantzig = match solve_lp(&p).unwrap() {
+                LpOutcome::Optimal { objective, .. } => objective,
+                other => panic!("expected optimal, got {other:?}"),
+            };
+            match solve_lp_with_bland_switch(&p, 0).unwrap() {
+                LpOutcome::Optimal { objective, .. } => {
+                    assert!((objective - dantzig).abs() < 1e-6);
+                }
+                other => panic!("expected optimal under Bland, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bland_switch_counts_iterations_across_the_phase_transition() {
+        // A degenerate problem whose equality rows force a real phase 1.
+        // Regression for the anti-cycling guard resetting at the phase
+        // transition: the switch decision compares the *cumulative*
+        // iteration count, so a threshold below the total — even one that
+        // neither phase would cross on its own counter — must trip it.
+        let p = lp(
+            3,
+            vec![1.0, 1.0, 1.0],
+            vec![
+                LpRow {
+                    coeffs: vec![(0, 1.0), (1, 1.0)],
+                    cmp: Cmp::Eq,
+                    rhs: 2.0,
+                },
+                LpRow {
+                    coeffs: vec![(1, 1.0), (2, 1.0)],
+                    cmp: Cmp::Eq,
+                    rhs: 2.0,
+                },
+                LpRow {
+                    coeffs: vec![(0, 1.0), (2, 1.0)],
+                    cmp: Cmp::Ge,
+                    rhs: 1.0,
+                },
+            ],
+            vec![(0.0, 10.0); 3],
+        );
+        let total = match solve_lp(&p).unwrap() {
+            LpOutcome::Optimal { iterations, .. } => iterations,
+            other => panic!("expected optimal, got {other:?}"),
+        };
+        assert!(total >= 2, "need a multi-pivot solve, got {total}");
+
+        // Re-solve with the switch threshold strictly inside the total
+        // count and the metrics registry listening: the cumulative counter
+        // must cross it exactly once.
+        let reg = std::sync::Arc::new(coremap_obs::Registry::new());
+        {
+            let _g = coremap_obs::install(reg.clone());
+            match solve_lp_with_bland_switch(&p, total - 1).unwrap() {
+                LpOutcome::Optimal { objective, .. } => {
+                    // x = 2-y, z = 2-y, so obj = 4-y with y <= 1.5.
+                    assert!((objective - 2.5).abs() < 1e-6, "obj={objective}");
+                }
+                other => panic!("expected optimal, got {other:?}"),
+            }
+        }
+        assert_eq!(reg.counter_value("ilp.simplex.bland_switches"), 1);
+        assert!(reg.counter_value("ilp.simplex.pivots") >= total as u64);
     }
 }

@@ -1,0 +1,158 @@
+//! Deterministic power-of-two histograms.
+
+/// A histogram over `u64` samples with power-of-two buckets.
+///
+/// Bucket `k` counts samples whose value `v` satisfies
+/// `2^(k-1) < v <= 2^k - ...`; concretely, a sample lands in the bucket
+/// indexed by its bit length (`0` for the value `0`), so bucket upper
+/// bounds are `0, 1, 3, 7, 15, …, 2^k - 1`. The layout is exact-count in
+/// `count`/`sum`/`min`/`max` and approximate in the buckets — precise
+/// enough to spot a skewed distribution of, say, simplex pivot counts per
+/// LP, while staying byte-deterministic (no floating-point accumulation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping add; campaigns stay far below 2^64).
+    pub sum: u64,
+    /// Smallest sample, `u64::MAX` when empty.
+    pub min: u64,
+    /// Largest sample, `0` when empty.
+    pub max: u64,
+    /// `buckets[k]` counts samples of bit length `k` (value 0 → bucket 0).
+    buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Bucket index of `value` (its bit length).
+    fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `k`.
+    fn bucket_bound(k: usize) -> u64 {
+        if k >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << k) - 1
+        }
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| (Self::bucket_bound(k), c))
+            .collect()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample value, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds `other` into `self` (bucket-wise; exact fields combine).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_exact_summary_fields() {
+        let mut h = Histogram::new();
+        for v in [3, 1, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 14);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 10);
+        assert!((h.mean() - 14.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buckets_follow_bit_length() {
+        let mut h = Histogram::new();
+        h.record(0); // bucket bound 0
+        h.record(1); // bound 1
+        h.record(2); // bound 3
+        h.record(3); // bound 3
+        h.record(8); // bound 15
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 1), (3, 2), (15, 1)]);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1, 5, 9] {
+            a.record(v);
+        }
+        for v in [2, 5, 100] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 6);
+        assert_eq!(ab.min, 1);
+        assert_eq!(ab.max, 100);
+    }
+
+    #[test]
+    fn empty_histogram_is_empty() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+}

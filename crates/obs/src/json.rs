@@ -1,0 +1,135 @@
+//! Hand-rolled JSON export with a byte-stable layout.
+//!
+//! The registry must export without pulling serialization dependencies
+//! into every pipeline crate, and the output must be byte-identical across
+//! runs: keys sorted, 2-space indentation, `u64` rendered as plain
+//! integers and `f64` through Rust's shortest-roundtrip formatter.
+
+use std::collections::BTreeMap;
+
+use crate::registry::{Metric, MetricValue};
+
+/// Identifies the snapshot layout; bump on breaking schema changes.
+pub const SCHEMA: &str = "coremap-metrics/v1";
+
+/// Renders the snapshot: a `schema` tag plus one sorted object per metric
+/// kind. Volatile metrics are skipped unless `include_volatile`.
+pub fn render(snapshot: &BTreeMap<String, Metric>, include_volatile: bool) -> String {
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut hists = Vec::new();
+    for (name, metric) in snapshot {
+        if metric.volatile && !include_volatile {
+            continue;
+        }
+        match &metric.value {
+            MetricValue::Counter(c) => counters.push(format!("{}: {c}", quote(name))),
+            MetricValue::Gauge(g) => gauges.push(format!("{}: {}", quote(name), float(*g))),
+            MetricValue::Histogram(h) => {
+                let buckets = h
+                    .nonzero_buckets()
+                    .iter()
+                    .map(|(bound, count)| format!("[{bound}, {count}]"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                hists.push(format!(
+                    "{}: {{ \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"buckets\": [{buckets}] }}",
+                    quote(name),
+                    h.count,
+                    h.sum,
+                    if h.is_empty() { 0 } else { h.min },
+                    h.max,
+                    float(h.mean()),
+                ));
+            }
+        }
+    }
+    let section = |entries: Vec<String>| {
+        if entries.is_empty() {
+            "{}".to_owned()
+        } else {
+            format!("{{\n    {}\n  }}", entries.join(",\n    "))
+        }
+    };
+    format!(
+        "{{\n  \"schema\": {},\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}}\n",
+        quote(SCHEMA),
+        section(counters),
+        section(gauges),
+        section(hists),
+    )
+}
+
+/// JSON string literal with the mandatory escapes.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Stable `f64` rendering; JSON has no NaN/Infinity, so those become null.
+fn float(v: f64) -> String {
+    if v.is_finite() {
+        // Rust's shortest-roundtrip Display is deterministic; integral
+        // values print without a fraction ("42").
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn export_is_valid_and_sorted() {
+        let r = Registry::new();
+        r.add("z.counter", 2);
+        r.add("a.counter", 1);
+        r.set_gauge("m.gauge", 1.5);
+        r.observe("h.hist", 3);
+        let json = r.to_json(true);
+        assert!(json.starts_with("{\n  \"schema\": \"coremap-metrics/v1\""));
+        let a = json.find("a.counter").unwrap();
+        let z = json.find("z.counter").unwrap();
+        assert!(a < z, "keys must be sorted");
+        assert!(json.contains("\"m.gauge\": 1.5"));
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn integral_gauges_render_without_fraction() {
+        let r = Registry::new();
+        r.set_gauge("ops", 42.0);
+        assert!(r.to_json(true).contains("\"ops\": 42"));
+    }
+
+    #[test]
+    fn keys_are_escaped() {
+        assert_eq!(quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(quote("tab\there"), "\"tab\\there\"");
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_sections() {
+        let r = Registry::new();
+        let json = r.to_json(false);
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"histograms\": {}"));
+    }
+}

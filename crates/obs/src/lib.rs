@@ -1,0 +1,200 @@
+//! # coremap-obs
+//!
+//! Observability layer for the core-map measurement pipeline.
+//!
+//! The paper's methodology is a long chain of fragile measurements —
+//! eviction-set construction, PMON ingress sampling, ILP reconstruction —
+//! repeated across a whole fleet of instances. When a campaign misbehaves,
+//! the raw `CoreMap` (or its absence) says nothing about *where* the run
+//! went wrong. This crate provides the missing instrumentation: a
+//! lightweight, dependency-free metrics [`Registry`] holding counters,
+//! gauges and histograms, plus wall-clock timing spans, with a
+//! deterministic JSON export suitable for CI snapshot assertions.
+//!
+//! ## Recording model
+//!
+//! Instrumentation points throughout the pipeline call the free functions
+//! in this module ([`inc`], [`add`], [`set_gauge`], [`observe`],
+//! [`time`]). They record into the *currently installed* registry — a
+//! thread-local stack managed by [`install`] — and are no-ops when no
+//! registry is installed, so uninstrumented callers (most unit tests) pay
+//! only a thread-local read per event.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use coremap_obs::{self as obs, Registry};
+//!
+//! let registry = Arc::new(Registry::new());
+//! {
+//!     let _scope = obs::install(registry.clone());
+//!     obs::inc("demo.events");
+//!     obs::add("demo.events", 2);
+//! }
+//! assert_eq!(registry.counter_value("demo.events"), 3);
+//! ```
+//!
+//! ## Determinism
+//!
+//! Every metric is either *deterministic* (counters of algorithmic events:
+//! simplex pivots, eviction probes, MSR reads…) or *volatile* (anything
+//! derived from wall-clock time or thread scheduling: span durations,
+//! per-worker job counts). [`Registry::to_json`] with
+//! `include_volatile = false` exports only the deterministic subset with
+//! sorted keys and stable number formatting — the same pipeline run twice
+//! over the same seed produces byte-identical snapshots, whatever the
+//! worker count. The fleet runner guarantees worker-count independence by
+//! collecting each instance's metrics into its own sub-registry and
+//! [merging](Registry::merge) them in instance order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod json;
+mod registry;
+mod span;
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+pub use hist::Histogram;
+pub use registry::{Metric, MetricValue, Registry};
+pub use span::SpanGuard;
+
+thread_local! {
+    /// Stack of installed registries; the innermost (last) one is current.
+    static CURRENT: RefCell<Vec<Arc<Registry>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Makes `registry` the current recording target for this thread until the
+/// returned guard is dropped. Installs nest: the innermost registry wins,
+/// and dropping the guard re-exposes the previous one.
+///
+/// The guard is deliberately `!Send`: it must be dropped on the thread it
+/// was created on.
+#[must_use = "recording stops when the guard is dropped"]
+pub fn install(registry: Arc<Registry>) -> InstallGuard {
+    CURRENT.with(|c| c.borrow_mut().push(registry));
+    InstallGuard {
+        _not_send: PhantomData,
+    }
+}
+
+/// The registry currently installed on this thread, if any.
+pub fn current() -> Option<Arc<Registry>> {
+    CURRENT.with(|c| c.borrow().last().cloned())
+}
+
+/// Scope guard returned by [`install`]; uninstalls the registry on drop.
+#[derive(Debug)]
+pub struct InstallGuard {
+    // `Rc`-like !Send marker: the guard pops this thread's stack.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+/// Runs `f` against the current registry, if one is installed.
+fn with_current(f: impl FnOnce(&Registry)) {
+    CURRENT.with(|c| {
+        if let Some(reg) = c.borrow().last() {
+            f(reg);
+        }
+    });
+}
+
+/// Increments the counter `name` by one in the current registry.
+pub fn inc(name: &str) {
+    with_current(|r| r.add(name, 1));
+}
+
+/// Adds `n` to the counter `name` in the current registry.
+pub fn add(name: &str, n: u64) {
+    with_current(|r| r.add(name, n));
+}
+
+/// Sets the gauge `name` to `value` in the current registry.
+pub fn set_gauge(name: &str, value: f64) {
+    with_current(|r| r.set_gauge(name, value));
+}
+
+/// Records `value` into the histogram `name` in the current registry.
+pub fn observe(name: &str, value: u64) {
+    with_current(|r| r.observe(name, value));
+}
+
+/// Starts a wall-clock timing span. On drop it increments the
+/// deterministic counter `<name>.calls` and records the elapsed
+/// microseconds into the *volatile* histogram `<name>.us` of whatever
+/// registry is current at drop time.
+pub fn time(name: &str) -> SpanGuard {
+    SpanGuard::start(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_functions_are_noops_without_registry() {
+        // Must not panic or allocate a registry.
+        inc("nobody.listens");
+        add("nobody.listens", 5);
+        set_gauge("nobody.listens", 1.0);
+        observe("nobody.listens", 1);
+        drop(time("nobody.listens"));
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn install_nests_and_restores() {
+        let outer = Arc::new(Registry::new());
+        let inner = Arc::new(Registry::new());
+        let _o = install(outer.clone());
+        inc("depth");
+        {
+            let _i = install(inner.clone());
+            inc("depth");
+            inc("depth");
+        }
+        inc("depth");
+        assert_eq!(outer.counter_value("depth"), 2);
+        assert_eq!(inner.counter_value("depth"), 2);
+    }
+
+    #[test]
+    fn worker_threads_start_uninstrumented() {
+        let reg = Arc::new(Registry::new());
+        let _g = install(reg.clone());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Thread-local stack is per thread: nothing installed here.
+                assert!(current().is_none());
+                inc("lost");
+            });
+        });
+        assert_eq!(reg.counter_value("lost"), 0);
+    }
+
+    #[test]
+    fn span_records_calls_and_duration() {
+        let reg = Arc::new(Registry::new());
+        {
+            let _g = install(reg.clone());
+            drop(time("phase"));
+            drop(time("phase"));
+        }
+        assert_eq!(reg.counter_value("phase.calls"), 2);
+        let snapshot = reg.to_json(true);
+        assert!(snapshot.contains("phase.us"), "{snapshot}");
+        // The duration histogram is volatile: deterministic export drops it.
+        assert!(!reg.to_json(false).contains("phase.us"));
+    }
+}

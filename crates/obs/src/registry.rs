@@ -1,0 +1,289 @@
+//! The thread-safe metrics registry.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::hist::Histogram;
+use crate::json;
+
+/// The value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Last-written instantaneous value.
+    Gauge(f64),
+    /// Distribution of recorded samples (boxed: a histogram is an order of
+    /// magnitude larger than the other variants).
+    Histogram(Box<Histogram>),
+}
+
+/// One named metric: its value plus the volatility marker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Current value.
+    pub value: MetricValue,
+    /// Whether the metric depends on wall-clock time or thread scheduling
+    /// (and is therefore excluded from deterministic exports).
+    pub volatile: bool,
+}
+
+/// A thread-safe collection of named metrics.
+///
+/// Names are flat dot-separated strings (`"ilp.simplex.pivots"`). Keys are
+/// kept sorted (`BTreeMap`), so snapshots and JSON exports have a stable
+/// order. All recording methods take `&self`; the registry is freely
+/// shared behind an `Arc` across the fleet runner's worker pool.
+///
+/// Locking never propagates poisoning: a panicking instrumented job (the
+/// fleet runner catches per-instance panics) must not take the whole
+/// campaign's metrics down with it.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Metric>> {
+        // Metrics stay usable after a recorded panic; the map is always in
+        // a consistent state between operations.
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn upsert(
+        &self,
+        name: &str,
+        volatile: bool,
+        f: impl FnOnce(&mut MetricValue),
+        new: impl FnOnce() -> MetricValue,
+    ) {
+        let mut map = self.lock();
+        match map.get_mut(name) {
+            Some(metric) => {
+                metric.volatile |= volatile;
+                f(&mut metric.value);
+            }
+            None => {
+                let mut value = new();
+                f(&mut value);
+                map.insert(name.to_owned(), Metric { value, volatile });
+            }
+        }
+    }
+
+    /// Adds `n` to the counter `name`, creating it at zero first.
+    pub fn add(&self, name: &str, n: u64) {
+        self.record_counter(name, n, false);
+    }
+
+    /// Adds `n` to the *volatile* counter `name` (e.g. per-worker job
+    /// counts, which depend on scheduling).
+    pub fn add_volatile(&self, name: &str, n: u64) {
+        self.record_counter(name, n, true);
+    }
+
+    fn record_counter(&self, name: &str, n: u64, volatile: bool) {
+        self.upsert(
+            name,
+            volatile,
+            |v| {
+                if let MetricValue::Counter(c) = v {
+                    *c += n;
+                } else {
+                    *v = MetricValue::Counter(n);
+                }
+            },
+            || MetricValue::Counter(0),
+        );
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.record_gauge(name, value, false);
+    }
+
+    /// Sets the *volatile* gauge `name` to `value` (e.g. wall-clock
+    /// timestamps).
+    pub fn set_gauge_volatile(&self, name: &str, value: f64) {
+        self.record_gauge(name, value, true);
+    }
+
+    fn record_gauge(&self, name: &str, value: f64, volatile: bool) {
+        self.upsert(
+            name,
+            volatile,
+            |v| *v = MetricValue::Gauge(value),
+            || MetricValue::Gauge(0.0),
+        );
+    }
+
+    /// Records `value` into the histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.record_hist(name, value, false);
+    }
+
+    /// Records `value` into the *volatile* histogram `name` (e.g. span
+    /// durations in microseconds).
+    pub fn observe_volatile(&self, name: &str, value: u64) {
+        self.record_hist(name, value, true);
+    }
+
+    fn record_hist(&self, name: &str, value: u64, volatile: bool) {
+        self.upsert(
+            name,
+            volatile,
+            |v| {
+                if let MetricValue::Histogram(h) = v {
+                    h.record(value);
+                } else {
+                    let mut h = Histogram::new();
+                    h.record(value);
+                    *v = MetricValue::Histogram(Box::new(h));
+                }
+            },
+            || MetricValue::Histogram(Box::default()),
+        );
+    }
+
+    /// Current value of the counter `name`, `0` if absent or not a counter.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        match self.lock().get(name).map(|m| &m.value) {
+            Some(MetricValue::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Current value of the gauge `name`, if present.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        match self.lock().get(name).map(|m| &m.value) {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Clone of the histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        match self.lock().get(name).map(|m| &m.value) {
+            Some(MetricValue::Histogram(h)) => Some((**h).clone()),
+            _ => None,
+        }
+    }
+
+    /// Sorted snapshot of every metric.
+    pub fn snapshot(&self) -> BTreeMap<String, Metric> {
+        self.lock().clone()
+    }
+
+    /// Whether no metric has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Folds every metric of `other` into `self`: counters add, gauges are
+    /// overwritten by `other`'s value, histograms merge bucket-wise; the
+    /// volatile marker is sticky. Merging is commutative for counters and
+    /// histograms, so aggregate pipeline metrics are independent of the
+    /// order per-instance registries complete in — the fleet runner
+    /// nevertheless merges in instance order so per-instance gauges are
+    /// deterministic too.
+    pub fn merge(&self, other: &Registry) {
+        let theirs = other.snapshot();
+        let mut map = self.lock();
+        for (name, metric) in theirs {
+            match map.get_mut(&name) {
+                Some(mine) => {
+                    mine.volatile |= metric.volatile;
+                    match (&mut mine.value, &metric.value) {
+                        (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                        (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                        // Gauge-over-gauge and any type conflict: the
+                        // incoming value wins.
+                        (mine_value, _) => *mine_value = metric.value.clone(),
+                    }
+                }
+                None => {
+                    map.insert(name, metric);
+                }
+            }
+        }
+    }
+
+    /// Serializes the registry as pretty-printed JSON with sorted keys and
+    /// stable number formatting. With `include_volatile = false` only the
+    /// deterministic subset is exported: the same seeded run then produces
+    /// a byte-identical snapshot regardless of wall time, worker count or
+    /// scheduling. See `DESIGN.md` ("Observability") for the schema.
+    pub fn to_json(&self, include_volatile: bool) -> String {
+        json::render(&self.snapshot(), include_volatile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Registry::new();
+        r.add("a", 1);
+        r.add("a", 2);
+        assert_eq!(r.counter_value("a"), 3);
+        assert_eq!(r.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let r = Registry::new();
+        r.set_gauge("g", 1.5);
+        r.set_gauge("g", 2.5);
+        assert_eq!(r.gauge_value("g"), Some(2.5));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_keeps_unique_gauges() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.add("shared", 2);
+        b.add("shared", 3);
+        b.set_gauge("only.b", 7.0);
+        b.observe("h", 4);
+        a.observe("h", 1);
+        a.merge(&b);
+        assert_eq!(a.counter_value("shared"), 5);
+        assert_eq!(a.gauge_value("only.b"), Some(7.0));
+        let h = a.histogram("h").unwrap();
+        assert_eq!((h.count, h.min, h.max), (2, 1, 4));
+    }
+
+    #[test]
+    fn volatile_marker_is_sticky_across_merge() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.add("c", 1);
+        b.add_volatile("c", 1);
+        a.merge(&b);
+        assert!(!a.to_json(false).contains("\"c\""));
+        assert!(a.to_json(true).contains("\"c\""));
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let r = std::sync::Arc::new(Registry::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = r.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        r.add("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter_value("hits"), 4000);
+    }
+}

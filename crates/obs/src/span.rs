@@ -1,0 +1,66 @@
+//! Wall-clock timing spans.
+
+use std::time::Instant;
+
+/// Guard measuring a wall-clock span, created by [`crate::time`].
+///
+/// On drop it records, into the registry current *at drop time*:
+///
+/// * counter `<name>.calls` — deterministic (one per span);
+/// * histogram `<name>.us` — the elapsed microseconds, **volatile**
+///   (excluded from deterministic exports).
+///
+/// Recording at drop time keeps the guard cheap and means a span opened
+/// before [`crate::install`] and closed inside the scope still lands in
+/// the registry — matching the intuition that the innermost active
+/// registry owns the event.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: String,
+    start: Instant,
+}
+
+impl SpanGuard {
+    pub(crate) fn start(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since the span started, in whole microseconds.
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let us = self.elapsed_us();
+        crate::with_current(|r| {
+            r.add(&format!("{}.calls", self.name), 1);
+            r.observe_volatile(&format!("{}.us", self.name), us);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+    use std::sync::Arc;
+
+    #[test]
+    fn span_measures_nonzero_time() {
+        let reg = Arc::new(Registry::new());
+        let _g = crate::install(reg.clone());
+        {
+            let span = crate::time("work");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            assert!(span.elapsed_us() >= 1_000);
+        }
+        let h = reg.histogram("work.us").unwrap();
+        assert_eq!(h.count, 1);
+        assert!(h.max >= 1_000);
+        assert_eq!(reg.counter_value("work.calls"), 1);
+    }
+}

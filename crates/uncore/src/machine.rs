@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use coremap_mesh::{
     route, ChaId, Floorplan, GridDim, OsCoreId, Ppin, RoutingDiscipline, TileCoord,
 };
+use coremap_obs as obs;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -187,6 +188,7 @@ impl XeonMachine {
     /// [`MsrError::PermissionDenied`] without root, [`MsrError::UnknownMsr`]
     /// for unmapped addresses.
     pub fn read_msr(&self, addr: u32) -> Result<u64, MsrError> {
+        obs::inc("uncore.msr.reads");
         if !self.cfg.privileged {
             return Err(MsrError::PermissionDenied);
         }
@@ -199,7 +201,11 @@ impl XeonMachine {
                 Ok(match reg {
                     ChaRegister::UnitCtl => b.read_unit_ctl(),
                     ChaRegister::CounterCtl(i) => b.read_ctl(i),
-                    ChaRegister::Counter(i) => b.read_counter(i),
+                    ChaRegister::Counter(i) => {
+                        // A counter readout is one PMON sample.
+                        obs::inc("uncore.pmon.samples");
+                        b.read_counter(i)
+                    }
                 })
             }
             _ => Err(MsrError::UnknownMsr { addr }),
@@ -213,6 +219,7 @@ impl XeonMachine {
     /// [`MsrError::PermissionDenied`] without root, [`MsrError::UnknownMsr`]
     /// for unmapped addresses, [`MsrError::ReadOnly`] for the PPIN.
     pub fn write_msr(&mut self, addr: u32, value: u64) -> Result<(), MsrError> {
+        obs::inc("uncore.msr.writes");
         if !self.cfg.privileged {
             return Err(MsrError::PermissionDenied);
         }
@@ -396,6 +403,7 @@ impl XeonMachine {
     /// runs this before arming counters so earlier experiments cannot leak
     /// into the next observation window.
     pub fn flush_caches(&mut self) {
+        obs::inc("uncore.cache.flushes");
         for core_idx in 0..self.l2.len() {
             let drained = self.l2[core_idx].drain();
             let core_coord = self.plan.coord_of_core(OsCoreId::new(core_idx as u16));

@@ -13,6 +13,7 @@
 //! * [`thermal`] — RC thermal model and the inter-core thermal covert
 //!   channel.
 //! * [`fleet`] — cloud-fleet instance generation and pattern statistics.
+//! * [`obs`] — metrics/tracing registry instrumented through the pipeline.
 //!
 //! ```
 //! use core_map::fleet::{CloudFleet, CpuModel};
@@ -35,5 +36,6 @@ pub use coremap_core as core;
 pub use coremap_fleet as fleet;
 pub use coremap_ilp as ilp;
 pub use coremap_mesh as mesh;
+pub use coremap_obs as obs;
 pub use coremap_thermal as thermal;
 pub use coremap_uncore as uncore;

@@ -9,6 +9,7 @@
 
 use core_map::core::backend::{
     FaultPlan, FaultyBackend, MachineBackend, MeasurementTrace, RecordingBackend, ReplayBackend,
+    TraceOp,
 };
 use core_map::core::CoreMapper;
 use core_map::mesh::{DieTemplate, FloorplanBuilder, OsCoreId};
@@ -112,6 +113,59 @@ fn recorded_skylake_campaign_replays_to_identical_coremap() {
     let mut replay = ReplayBackend::new(trace);
     let replayed = CoreMapper::new().map(&mut replay).expect("replayed map");
     assert_eq!(replayed, recorded, "replay must be bit-identical");
+}
+
+/// Records a short op sequence and returns its trace.
+fn short_trace() -> MeasurementTrace {
+    let mut recorder = RecordingBackend::new(skylake());
+    recorder.flush_caches();
+    for i in 0..6u64 {
+        recorder.write_line(OsCoreId::new(0), PhysAddr::new(i * 64));
+    }
+    recorder.into_parts().1
+}
+
+#[test]
+fn divergence_panic_reports_position_and_both_ops() {
+    let trace = short_trace();
+    let mut replay = ReplayBackend::new(trace);
+    replay.flush_caches();
+    replay.write_line(OsCoreId::new(0), PhysAddr::new(0));
+    // Issue a mismatching op: the trace recorded a write to 0x40 next.
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        replay.read_line(OsCoreId::new(3), PhysAddr::new(0x9999 * 64));
+    }))
+    .expect_err("divergence must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .expect("panic payload is the rendered report");
+    assert!(msg.contains("replay divergence at op 2 of 7"), "{msg}");
+    assert!(msg.contains("pipeline issued: read_line"), "{msg}");
+    assert!(msg.contains("trace recorded:  WriteLine"), "{msg}");
+    assert!(msg.contains("preceding operations:"), "{msg}");
+    assert!(msg.contains("FlushCaches"), "{msg}");
+}
+
+#[test]
+fn exhaustion_divergence_reports_trace_end() {
+    let trace = short_trace();
+    let len = trace.len();
+    let replay = ReplayBackend::new(trace);
+    let mut replay2 = replay.clone();
+    // Drain the whole trace legitimately.
+    replay2.flush_caches();
+    for i in 0..6u64 {
+        replay2.write_line(OsCoreId::new(0), PhysAddr::new(i * 64));
+    }
+    assert!(replay2.is_exhausted());
+    let report = replay2.divergence_report(len, "flush_caches()".to_owned());
+    assert_eq!(report.position, len);
+    assert_eq!(report.trace_len, len);
+    assert!(report.recorded.is_none());
+    assert_eq!(report.context.len(), 5);
+    assert!(matches!(report.context[0], TraceOp::WriteLine { .. }));
+    let rendered = report.to_string();
+    assert!(rendered.contains("<exhausted>"), "{rendered}");
 }
 
 #[test]

@@ -6,8 +6,11 @@
 //! in instance order whatever the worker count, and a failing instance is
 //! an `Err` entry instead of a campaign abort.
 
+use core_map::core::backend::MachineBackend;
 use core_map::core::CoreMapper;
-use core_map::fleet::{CloudFleet, CloudInstance, CpuModel, FleetRunner, SurveyStats};
+use core_map::fleet::{CloudFleet, CloudInstance, CpuModel, FleetRunner, JobFailure, SurveyStats};
+use core_map::mesh::{ChaId, GridDim, OsCoreId};
+use core_map::uncore::{MsrError, PhysAddr, XeonMachine};
 
 #[test]
 fn parallel_survey_matches_sequential() {
@@ -63,6 +66,99 @@ fn failures_surface_per_instance_without_aborting() {
     for (instance, ppin) in outcome.successes() {
         assert_eq!(*ppin, instance.ppin());
     }
+}
+
+/// A backend that panics mid-campaign after a fixed number of line writes
+/// — modelling an instance whose measurement code hits an unexpected state
+/// deep inside the pipeline.
+struct PanickingBackend {
+    inner: XeonMachine,
+    writes_left: Option<u64>,
+}
+
+impl MachineBackend for PanickingBackend {
+    fn read_msr(&self, addr: u32) -> Result<u64, MsrError> {
+        self.inner.read_msr(addr)
+    }
+    fn write_msr(&mut self, addr: u32, value: u64) -> Result<(), MsrError> {
+        self.inner.write_msr(addr, value)
+    }
+    fn cha_count(&self) -> usize {
+        self.inner.cha_count()
+    }
+    fn core_count(&self) -> usize {
+        self.inner.core_count()
+    }
+    fn os_cores(&self) -> Vec<OsCoreId> {
+        self.inner.os_cores()
+    }
+    fn grid_dim(&self) -> GridDim {
+        self.inner.grid_dim()
+    }
+    fn l2_geometry(&self) -> (usize, usize) {
+        self.inner.l2_geometry()
+    }
+    fn address_space(&self) -> u64 {
+        self.inner.address_space()
+    }
+    fn home_of(&self, pa: PhysAddr) -> ChaId {
+        self.inner.home_of(pa)
+    }
+    fn write_line(&mut self, core: OsCoreId, pa: PhysAddr) {
+        if let Some(left) = &mut self.writes_left {
+            assert!(*left > 0, "injected backend panic: write budget exhausted");
+            *left -= 1;
+        }
+        self.inner.write_line(core, pa);
+    }
+    fn read_line(&mut self, core: OsCoreId, pa: PhysAddr) {
+        self.inner.read_line(core, pa);
+    }
+    fn flush_caches(&mut self) {
+        self.inner.flush_caches();
+    }
+    fn op_count(&self) -> u64 {
+        self.inner.op_count()
+    }
+}
+
+#[test]
+fn panicking_backend_fails_one_instance_not_the_campaign() {
+    let fleet = CloudFleet::with_seed(2022);
+    let model = CpuModel::Platinum8259CL;
+    let count = 4;
+    let poisoned = 1usize;
+
+    let outcome = FleetRunner::new(3).map_instances(
+        &fleet,
+        model,
+        count,
+        &CoreMapper::new(),
+        |instance: &CloudInstance| PanickingBackend {
+            inner: instance.boot(),
+            // The poisoned instance blows up a few thousand writes into
+            // step 1; every other instance runs unrestricted.
+            writes_left: (instance.index() == poisoned).then_some(5_000),
+        },
+    );
+
+    assert_eq!(outcome.len(), count);
+    assert_eq!(outcome.failure_count(), 1);
+    assert_eq!(outcome.panic_count(), 1);
+    let (instance, failure) = outcome.failures().next().unwrap();
+    assert_eq!(instance.index(), poisoned);
+    assert!(
+        matches!(failure, JobFailure::Panic(msg) if msg.contains("write budget exhausted")),
+        "{failure}"
+    );
+
+    // The surviving instances still map correctly.
+    let ok: Vec<usize> = outcome.successes().map(|(i, _)| i.index()).collect();
+    assert_eq!(ok, vec![0, 2, 3]);
+    let stats = SurveyStats::collect(&outcome);
+    assert_eq!(stats.mapped, count - 1);
+    assert_eq!(stats.verified, count - 1);
+    assert_eq!(stats.failed, 1);
 }
 
 #[test]

@@ -1,0 +1,124 @@
+//! Deterministic metrics: the observability contract of the pipeline.
+//!
+//! The `--metrics` export exists so that campaign behaviour can be diffed
+//! across code changes. That only works if the deterministic snapshot is
+//! *byte-identical* for identical inputs — across repeated runs of the
+//! same process, across worker counts, and between a live run and its
+//! trace replay. Wall-clock and scheduling artefacts are flagged volatile
+//! and must never leak into the deterministic export.
+
+use std::sync::Arc;
+
+use core_map::core::backend::{RecordingBackend, ReplayBackend};
+use core_map::core::CoreMapper;
+use core_map::fleet::{CloudFleet, CloudInstance, CpuModel, FleetRunner};
+use core_map::obs;
+
+/// Runs a small fixed-seed mapping campaign under a fresh registry and
+/// returns the deterministic JSON snapshot.
+fn campaign_snapshot(workers: usize) -> String {
+    let reg = Arc::new(obs::Registry::new());
+    {
+        let _guard = obs::install(reg.clone());
+        let fleet = CloudFleet::with_seed(11);
+        let outcome = FleetRunner::new(workers).map_instances(
+            &fleet,
+            CpuModel::Platinum8259CL,
+            2,
+            &CoreMapper::new(),
+            CloudInstance::boot,
+        );
+        assert_eq!(outcome.failure_count(), 0, "campaign must map cleanly");
+    }
+    reg.to_json(false)
+}
+
+#[test]
+fn snapshot_is_identical_across_runs_and_worker_counts() {
+    let serial = campaign_snapshot(1);
+    let parallel = campaign_snapshot(4);
+    let parallel_again = campaign_snapshot(4);
+    assert_eq!(
+        parallel, parallel_again,
+        "same-config reruns must export byte-identical metrics"
+    );
+    assert_eq!(
+        serial, parallel,
+        "worker count must not leak into the deterministic snapshot"
+    );
+    assert!(serial.contains("\"schema\": \"coremap-metrics/v1\""));
+    // Spot-check that the snapshot actually covers every pipeline layer.
+    for key in [
+        "uncore.msr.reads",
+        "core.eviction.samples",
+        "core.cha_map.tests",
+        "ilp.simplex.pivots",
+        "fleet.instances.ok\": 2",
+    ] {
+        assert!(serial.contains(key), "missing {key} in:\n{serial}");
+    }
+}
+
+#[test]
+fn volatile_timings_stay_out_of_the_deterministic_export() {
+    let reg = Arc::new(obs::Registry::new());
+    {
+        let _guard = obs::install(reg.clone());
+        let fleet = CloudFleet::with_seed(11);
+        FleetRunner::new(2).map_instances(
+            &fleet,
+            CpuModel::Platinum8259CL,
+            1,
+            &CoreMapper::new(),
+            CloudInstance::boot,
+        );
+    }
+    let deterministic = reg.to_json(false);
+    let full = reg.to_json(true);
+    assert!(!deterministic.contains(".us\""), "{deterministic}");
+    assert!(!deterministic.contains("wall_us"), "{deterministic}");
+    assert!(full.contains("core.map.stage.eviction.us"), "{full}");
+    assert!(full.contains("fleet.instance.0000.wall_us"), "{full}");
+}
+
+#[test]
+fn replayed_campaign_reproduces_the_recorded_counters() {
+    let fleet = CloudFleet::with_seed(11);
+    let instance = fleet
+        .instance(CpuModel::Platinum8259CL, 0)
+        .expect("instance");
+
+    let recorded_reg = Arc::new(obs::Registry::new());
+    let trace = {
+        let _guard = obs::install(recorded_reg.clone());
+        let mut recorder = RecordingBackend::new(instance.boot());
+        CoreMapper::new().map(&mut recorder).expect("recorded map");
+        recorder.into_parts().1
+    };
+
+    let replay_reg = Arc::new(obs::Registry::new());
+    {
+        let _guard = obs::install(replay_reg.clone());
+        let mut replay = ReplayBackend::new(trace);
+        CoreMapper::new().map(&mut replay).expect("replayed map");
+    }
+
+    // The replay drives the identical pipeline off the trace, so every
+    // algorithmic counter above the backend layer must match exactly.
+    for key in [
+        "core.eviction.samples",
+        "core.eviction.sets_built",
+        "core.cha_map.tests",
+        "core.traffic.core_pair_obs",
+        "ilp.simplex.pivots",
+        "ilp.bb.nodes",
+        "ilp.presolve.tightenings",
+    ] {
+        assert_eq!(
+            recorded_reg.counter_value(key),
+            replay_reg.counter_value(key),
+            "counter {key} diverged between record and replay"
+        );
+    }
+    assert_eq!(replay_reg.counter_value("core.replay.divergences"), 0);
+}
