@@ -25,11 +25,14 @@ COMMON OPTIONS:
 COMMAND OPTIONS:
     map:      --registry <FILE>     append the result to a JSON registry
               --metrics <FILE>      write pipeline metrics as JSON
+              --harden              aggressive fault tolerance (MSR retry,
+                                    median-of-3 counters, degradation)
     show:     --registry <FILE>     registry to read (required)
               --ppin <HEX>          render only this chip
     fleet:    --instances <N>       instances to survey [default: 10]
               --workers <N>         mapping worker threads [default: all cores]
               --metrics <FILE>      write campaign metrics as JSON
+              --harden              aggressive fault tolerance per instance
     channel:  --message <TEXT>      payload              [default: hello]
               --rate <BPS>          bit rate             [default: 2]
               --senders <N>         sender count         [default: 1]
@@ -45,6 +48,7 @@ pub enum Command {
         seed: u64,
         registry: Option<String>,
         metrics: Option<String>,
+        harden: bool,
     },
     /// Render stored maps.
     Show { registry: String, ppin: Option<u64> },
@@ -55,6 +59,7 @@ pub enum Command {
         seed: u64,
         workers: Option<usize>,
         metrics: Option<String>,
+        harden: bool,
     },
     /// Thermal covert channel transfer.
     Channel {
@@ -116,6 +121,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut message = "hello".to_owned();
     let mut rate = 2.0f64;
     let mut senders = 1usize;
+    let mut harden = false;
 
     let mut o = Opts { args, pos: 0 };
     while o.pos + 1 < args.len() {
@@ -158,6 +164,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         .map_err(|_| "--workers must be a number".to_string())?,
                 )
             }
+            // Boolean flag: consumes no value.
+            "--harden" => harden = true,
             "--message" => message = o.value("--message")?,
             "--rate" => {
                 rate = o
@@ -182,6 +190,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             seed,
             registry,
             metrics,
+            harden,
         }),
         "show" => Ok(Command::Show {
             registry: registry.ok_or("show requires --registry <FILE>")?,
@@ -193,6 +202,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             seed,
             workers,
             metrics,
+            harden,
         }),
         "channel" => Ok(Command::Channel {
             model,
@@ -226,9 +236,36 @@ mod tests {
                 index: 0,
                 seed: 2022,
                 registry: None,
-                metrics: None
+                metrics: None,
+                harden: false
             }
         );
+    }
+
+    #[test]
+    fn harden_flag_parses_without_a_value() {
+        let cmd = parse(&argv("map --harden --index 2")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Map {
+                harden: true,
+                index: 2,
+                ..
+            }
+        ));
+        let cmd = parse(&argv("fleet --harden --instances 3")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Fleet {
+                harden: true,
+                instances: 3,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&argv("map")).unwrap(),
+            Command::Map { harden: false, .. }
+        ));
     }
 
     #[test]
@@ -293,7 +330,8 @@ mod tests {
                 instances: 4,
                 seed: 2022,
                 workers: Some(3),
-                metrics: None
+                metrics: None,
+                harden: false
             }
         );
         assert!(matches!(

@@ -30,7 +30,8 @@ pub fn run(cmd: Command) -> CliResult {
             seed,
             registry,
             metrics,
-        } => map(model, index, seed, registry, metrics),
+            harden,
+        } => map(model, index, seed, registry, metrics, harden),
         Command::Show { registry, ppin } => show(&registry, ppin),
         Command::Fleet {
             model,
@@ -38,7 +39,8 @@ pub fn run(cmd: Command) -> CliResult {
             seed,
             workers,
             metrics,
-        } => fleet_survey(model, instances, seed, workers, metrics),
+            harden,
+        } => fleet_survey(model, instances, seed, workers, metrics, harden),
         Command::Channel {
             model,
             index,
@@ -51,10 +53,19 @@ pub fn run(cmd: Command) -> CliResult {
     }
 }
 
+fn mapper_for(harden: bool) -> CoreMapper {
+    if harden {
+        CoreMapper::hardened()
+    } else {
+        CoreMapper::new()
+    }
+}
+
 fn map_instance(
     model: CpuModel,
     index: usize,
     seed: u64,
+    harden: bool,
 ) -> Result<(coremap_fleet::CloudInstance, coremap_core::CoreMap), Box<dyn Error>> {
     let fleet = CloudFleet::with_seed(seed);
     let instance = fleet.instance(model, index)?;
@@ -64,7 +75,7 @@ fn map_instance(
         instance.ppin()
     );
     let mut machine = instance.boot();
-    let map = CoreMapper::new()
+    let map = mapper_for(harden)
         .map(&mut machine)?
         .with_template(model.template());
     Ok((instance, map))
@@ -94,9 +105,10 @@ fn map(
     seed: u64,
     registry: Option<String>,
     metrics: Option<String>,
+    harden: bool,
 ) -> CliResult {
     let scope = metrics_scope(&metrics);
-    let (_, map) = map_instance(model, index, seed)?;
+    let (_, map) = map_instance(model, index, seed, harden)?;
     println!("{}", map.render());
     if let Some(path) = registry {
         let mut reg = match File::open(&path) {
@@ -147,6 +159,7 @@ fn fleet_survey(
     seed: u64,
     workers: Option<usize>,
     metrics: Option<String>,
+    harden: bool,
 ) -> CliResult {
     let fleet = CloudFleet::with_seed(seed);
     let count = instances.min(model.paper_population());
@@ -160,7 +173,7 @@ fn fleet_survey(
         &fleet,
         model,
         count,
-        &CoreMapper::new(),
+        &mapper_for(harden),
         CloudInstance::boot,
     );
     if let (Some((reg, guard)), Some(path)) = (scope, &metrics) {
@@ -200,7 +213,7 @@ fn channel(
     if rate <= 0.0 {
         return Err("--rate must be positive".into());
     }
-    let (instance, map) = map_instance(model, index, seed)?;
+    let (instance, map) = map_instance(model, index, seed, false)?;
 
     // Receiver with a vertical neighbour; extra senders by proximity.
     let (receiver, first_sender) = (0..map.core_count() as u16)
@@ -248,7 +261,7 @@ fn channel(
 }
 
 fn verify_cmd(model: CpuModel, index: usize, seed: u64) -> CliResult {
-    let (instance, map) = map_instance(model, index, seed)?;
+    let (instance, map) = map_instance(model, index, seed, false)?;
     let truth = instance.floorplan();
     let positions: Vec<_> = truth.chas().map(|c| map.coord_of_cha(c)).collect();
     println!("{}", map.render());

@@ -27,8 +27,19 @@ pub struct FaultPlan {
     /// Maximum additive jitter on PMON counter readouts, modelling
     /// background mesh traffic the experiment window did not exclude.
     pub counter_jitter: u64,
+    /// Exact MSR-access indices (reads and writes share one counter,
+    /// starting at 0) that fail with [`MsrError::PermissionDenied`]
+    /// regardless of probability — for regression tests that must fault one
+    /// specific operation, e.g. the very first access (the PPIN read).
+    pub fail_msr_ops: Vec<u64>,
     /// Seed of the injection stream.
     pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none(0)
+    }
 }
 
 impl FaultPlan {
@@ -39,6 +50,7 @@ impl FaultPlan {
             msr_fail_prob: 0.0,
             counter_drop_prob: 0.0,
             counter_jitter: 0,
+            fail_msr_ops: Vec::new(),
             seed,
         }
     }
@@ -60,6 +72,13 @@ impl FaultPlan {
         self.counter_jitter = jitter;
         self
     }
+
+    /// Faults exactly the given MSR-access indices (deterministic, on top
+    /// of any probabilistic plan).
+    pub fn with_msr_op_faults(mut self, ops: Vec<u64>) -> Self {
+        self.fail_msr_ops = ops;
+        self
+    }
 }
 
 /// Wraps any backend and injects seeded, deterministic faults into the
@@ -76,6 +95,7 @@ pub struct FaultyBackend<B> {
     // `read_msr` takes `&self`; the injection stream must still advance.
     rng: RefCell<ChaCha8Rng>,
     injected: Cell<u64>,
+    msr_ops: Cell<u64>,
 }
 
 impl<B: MachineBackend> FaultyBackend<B> {
@@ -87,6 +107,7 @@ impl<B: MachineBackend> FaultyBackend<B> {
             plan,
             rng: RefCell::new(rng),
             injected: Cell::new(0),
+            msr_ops: Cell::new(0),
         }
     }
 
@@ -112,10 +133,24 @@ impl<B: MachineBackend> FaultyBackend<B> {
     fn roll(&self, prob: f64) -> bool {
         prob > 0.0 && self.rng.borrow_mut().gen_bool(prob)
     }
+
+    /// Advances the MSR-access index and reports whether this access is on
+    /// the plan's deterministic fault list. Checked *before* any
+    /// probability roll so targeted faults fire independently of the
+    /// random stream.
+    fn targeted_fault(&self) -> bool {
+        let op = self.msr_ops.get();
+        self.msr_ops.set(op + 1);
+        self.plan.fail_msr_ops.contains(&op)
+    }
 }
 
 impl<B: MachineBackend> MachineBackend for FaultyBackend<B> {
     fn read_msr(&self, addr: u32) -> Result<u64, MsrError> {
+        if self.targeted_fault() {
+            self.inject();
+            return Err(MsrError::PermissionDenied);
+        }
         if self.roll(self.plan.msr_fail_prob) {
             self.inject();
             return Err(MsrError::PermissionDenied);
@@ -143,6 +178,10 @@ impl<B: MachineBackend> MachineBackend for FaultyBackend<B> {
     }
 
     fn write_msr(&mut self, addr: u32, value: u64) -> Result<(), MsrError> {
+        if self.targeted_fault() {
+            self.inject();
+            return Err(MsrError::PermissionDenied);
+        }
         if self.roll(self.plan.msr_fail_prob) {
             self.inject();
             return Err(MsrError::PermissionDenied);

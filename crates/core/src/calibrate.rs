@@ -120,8 +120,8 @@ pub fn spot_check<T: MachineBackend, R: Rng>(
         }
         let Some(pa) = line else {
             return Err(MapError::EvictionSetBudget {
-                cha: sink_cha.index(),
-                missing: 1,
+                need: 1,
+                incomplete: vec![(sink_cha.index(), 0)],
             });
         };
         let obs: PathObservation =

@@ -9,19 +9,37 @@ use coremap_uncore::MsrError;
 pub enum MapError {
     /// MSR access failed (typically: no root privileges).
     Msr(MsrError),
-    /// Could not collect enough same-set lines for some LLC slice within the
-    /// sampling budget.
+    /// Could not collect enough same-set lines for one or more LLC slices
+    /// within the sampling budget. Every incomplete slice is listed so
+    /// fault-rate triage sees the full shape of the failure, not just the
+    /// first victim.
     EvictionSetBudget {
-        /// CHA whose eviction set stayed incomplete.
-        cha: usize,
-        /// Lines still missing.
-        missing: usize,
+        /// Lines a complete set needs (`ways + 1`).
+        need: usize,
+        /// `(cha, collected)` for every slice whose set stayed incomplete.
+        incomplete: Vec<(usize, usize)>,
     },
-    /// A core matched no slice (or several) as its co-located tile; the
-    /// measurement was too noisy to threshold.
+    /// A core's minimum-traffic slice did not beat the runner-up by the
+    /// required margin; the measurement was too noisy to threshold.
     AmbiguousChaMapping {
         /// OS core index with the ambiguous match.
         core: usize,
+        /// Margin the winner achieved over the runner-up.
+        margin: u64,
+        /// Margin the threshold required.
+        required: u64,
+    },
+    /// Two cores both matched the same slice as their co-located tile — a
+    /// distinct failure from a thin margin: the measurement thresholded
+    /// cleanly but contradicts the one-core-per-tile invariant, so *both*
+    /// involved cores are suspect.
+    DuplicateChaClaim {
+        /// OS core index whose measurement raised the conflict.
+        core: usize,
+        /// OS core index that claimed the slice earlier in the scan.
+        prior_core: usize,
+        /// The doubly-claimed CHA.
+        cha: usize,
     },
     /// The ILP reconstruction failed.
     Ilp(coremap_ilp::SolveError),
@@ -34,13 +52,35 @@ impl fmt::Display for MapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MapError::Msr(e) => write!(f, "msr access failed: {e}"),
-            MapError::EvictionSetBudget { cha, missing } => write!(
-                f,
-                "eviction set for CHA{cha} incomplete ({missing} lines missing) within budget"
-            ),
-            MapError::AmbiguousChaMapping { core } => {
-                write!(f, "cpu{core} has no unambiguous co-located slice")
+            MapError::EvictionSetBudget { need, incomplete } => {
+                write!(
+                    f,
+                    "eviction sets incomplete within budget for {} slice(s):",
+                    incomplete.len()
+                )?;
+                for (cha, collected) in incomplete {
+                    write!(f, " CHA{cha} {collected}/{need}")?;
+                }
+                Ok(())
             }
+            MapError::AmbiguousChaMapping {
+                core,
+                margin,
+                required,
+            } => write!(
+                f,
+                "cpu{core} has no unambiguous co-located slice \
+                 (margin {margin} < required {required})"
+            ),
+            MapError::DuplicateChaClaim {
+                core,
+                prior_core,
+                cha,
+            } => write!(
+                f,
+                "cpu{core} and cpu{prior_core} both claim CHA{cha} as their \
+                 co-located slice"
+            ),
             MapError::Ilp(e) => write!(f, "ilp reconstruction failed: {e}"),
             MapError::InconsistentObservations => {
                 f.write_str("traffic observations are mutually inconsistent")

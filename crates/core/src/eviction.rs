@@ -16,6 +16,7 @@ use coremap_obs as obs;
 use coremap_uncore::PhysAddr;
 use rand::Rng;
 
+use crate::harden::Harden;
 use crate::monitor;
 use crate::{MachineBackend, MapError};
 
@@ -47,18 +48,38 @@ pub fn probe_home<T: MachineBackend>(
     pa: PhysAddr,
     iters: usize,
 ) -> Result<ChaId, MapError> {
+    probe_home_with(machine, pa, iters, &mut Harden::default())
+}
+
+/// [`probe_home`] under an explicit hardening policy: MSR accesses are
+/// retried and the `LLC_LOOKUP` readouts taken median-of-k, so a dropped
+/// counter read cannot silently corrupt the argmax.
+///
+/// # Errors
+///
+/// Propagates MSR failures once the policy's retries are exhausted.
+///
+/// # Panics
+///
+/// Panics if the machine has fewer than two cores.
+pub fn probe_home_with<T: MachineBackend>(
+    machine: &mut T,
+    pa: PhysAddr,
+    iters: usize,
+    harden: &mut Harden,
+) -> Result<ChaId, MapError> {
     let cores = machine.os_cores();
     assert!(cores.len() >= 2, "need two cores for contention probing");
     let (a, b) = (cores[0], cores[1]);
-    monitor::arm_llc_lookup(machine)?;
-    monitor::reset_all(machine)?;
+    harden.msr(|| monitor::arm_llc_lookup(machine))?;
+    harden.msr(|| monitor::reset_all(machine))?;
     for _ in 0..iters {
         machine.write_line(a, pa);
         machine.write_line(b, pa);
     }
     let mut best = (0u64, 0usize);
     for cha in 0..machine.cha_count() {
-        let count = monitor::read_llc_lookup(machine, cha)?;
+        let count = harden.counter(|| monitor::read_llc_lookup(machine, cha))?;
         if count > best.0 {
             best = (count, cha);
         }
@@ -80,6 +101,22 @@ pub fn build_all_sets<T: MachineBackend, R: Rng>(
     machine: &mut T,
     rng: &mut R,
     probe_iters: usize,
+) -> Result<Vec<SliceEvictionSet>, MapError> {
+    build_all_sets_with(machine, rng, probe_iters, &mut Harden::default())
+}
+
+/// [`build_all_sets`] under an explicit hardening policy: each home probe
+/// runs with stage-local re-measurement, so one faulted probe is re-run in
+/// isolation instead of aborting the whole construction.
+///
+/// # Errors
+///
+/// As for [`build_all_sets`].
+pub fn build_all_sets_with<T: MachineBackend, R: Rng>(
+    machine: &mut T,
+    rng: &mut R,
+    probe_iters: usize,
+    harden: &mut Harden,
 ) -> Result<Vec<SliceEvictionSet>, MapError> {
     let (sets, ways) = machine.l2_geometry();
     let need = ways + 1;
@@ -108,7 +145,7 @@ pub fn build_all_sets<T: MachineBackend, R: Rng>(
         let line_idx = group * sets as u64 + target_set as u64;
         let pa = PhysAddr::new(line_idx << 6);
         obs::inc("core.eviction.samples");
-        let home = probe_home(machine, pa, probe_iters)?;
+        let home = harden.stage(|h| probe_home_with(machine, pa, probe_iters, h))?;
         if done[home.index()].is_some() {
             obs::inc("core.eviction.redundant");
             continue;
@@ -131,17 +168,16 @@ pub fn build_all_sets<T: MachineBackend, R: Rng>(
     }
 
     if remaining > 0 {
-        let (cha, missing) = done
+        // Report *every* incomplete slice with its collected-line count;
+        // fault-rate triage needs the full shape of the failure, not just
+        // the first victim.
+        let incomplete: Vec<(usize, usize)> = done
             .iter()
             .enumerate()
-            .find_map(|(c, s)| {
-                s.is_none().then(|| {
-                    let have = buckets.get(&c).map_or(0, Vec::len);
-                    (c, need - have)
-                })
-            })
-            .expect("some slice incomplete");
-        return Err(MapError::EvictionSetBudget { cha, missing });
+            .filter(|(_, s)| s.is_none())
+            .map(|(c, _)| (c, buckets.get(&c).map_or(0, Vec::len)))
+            .collect();
+        return Err(MapError::EvictionSetBudget { need, incomplete });
     }
 
     Ok(done.into_iter().map(|s| s.expect("all complete")).collect())
@@ -218,6 +254,29 @@ mod tests {
                 assert_eq!(m.home_of(pa), s.cha, "line homed elsewhere");
                 assert_eq!((pa.line().value() as usize) & (l2_sets - 1), s.l2_set);
             }
+        }
+    }
+
+    #[test]
+    fn budget_error_reports_every_incomplete_slice() {
+        use crate::backend::{FaultPlan, FaultyBackend};
+        // Every counter read dropped to 0: the argmax degenerates to CHA0,
+        // so only CHA0's bucket ever fills and the budget exhausts with all
+        // other slices empty. The error must list each of them.
+        let plan = FaultPlan::none(1).with_counter_drop_prob(1.0);
+        let mut m = FaultyBackend::new(machine(), plan);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let err = build_all_sets(&mut m, &mut rng, 4).unwrap_err();
+        match &err {
+            MapError::EvictionSetBudget { need, incomplete } => {
+                assert_eq!(incomplete.len(), m.cha_count() - 1);
+                assert!(incomplete.iter().all(|&(_, have)| have < *need));
+                let rendered = format!("{err}");
+                assert!(rendered.contains("27 slice(s)"), "{rendered}");
+                assert!(rendered.contains("CHA1 0/"), "{rendered}");
+                assert!(rendered.contains("CHA27 0/"), "{rendered}");
+            }
+            other => panic!("unexpected error {other:?}"),
         }
     }
 

@@ -41,20 +41,20 @@ pub struct Reconstruction {
     pub objective: f64,
 }
 
-struct UnionFind(Vec<usize>);
+pub(crate) struct UnionFind(Vec<usize>);
 
 impl UnionFind {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Self((0..n).collect())
     }
-    fn find(&mut self, x: usize) -> usize {
+    pub(crate) fn find(&mut self, x: usize) -> usize {
         if self.0[x] != x {
             let r = self.find(self.0[x]);
             self.0[x] = r;
         }
         self.0[x]
     }
-    fn union(&mut self, a: usize, b: usize) {
+    pub(crate) fn union(&mut self, a: usize, b: usize) {
         let (ra, rb) = (self.find(a), self.find(b));
         if ra != rb {
             let (keep, drop) = if ra < rb { (ra, rb) } else { (rb, ra) };

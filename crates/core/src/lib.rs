@@ -56,6 +56,7 @@ pub mod cha_map;
 mod coremap;
 mod error;
 pub mod eviction;
+pub mod harden;
 pub mod ilp_model;
 mod mapper;
 pub mod monitor;
@@ -66,6 +67,7 @@ pub mod verify;
 pub use backend::MachineBackend;
 pub use coremap::CoreMap;
 pub use error::MapError;
+pub use harden::{Harden, MapFidelity, MapQuality, RobustnessConfig};
 pub use mapper::{CoreMapper, MapDiagnostics, MapperConfig};
 pub use target::MapTarget;
 pub use traffic::{ObservationSet, PathObservation, VerticalDir};

@@ -9,7 +9,7 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::cha_map;
 use crate::eviction;
-use crate::ilp_model;
+use crate::harden::{self, Harden, MapQuality, RobustnessConfig};
 use crate::traffic;
 use crate::{CoreMap, MachineBackend, MapError, ObservationSet};
 
@@ -26,6 +26,9 @@ pub struct MapDiagnostics {
     pub ilp_objective: f64,
     /// Total machine operations the measurement campaign issued.
     pub machine_ops: u64,
+    /// Quality grade of the returned map (degradation ladder: exact →
+    /// relative → partial) and the bookkeeping behind it.
+    pub quality: MapQuality,
 }
 
 /// Tunables of the mapping pipeline.
@@ -50,6 +53,10 @@ pub struct MapperConfig {
     /// [`traffic::observe_all_ad`]. [`RingClass::Iv`] carries no directed
     /// pattern usable for mapping and is rejected.
     pub ring: RingClass,
+    /// Fault-tolerance policy: MSR retry, redundant counter sampling,
+    /// stage-local re-measurement and graceful ILP degradation
+    /// ([`harden`](crate::harden)).
+    pub robustness: RobustnessConfig,
 }
 
 impl Default for MapperConfig {
@@ -62,6 +69,7 @@ impl Default for MapperConfig {
             seed: 0x6d61_7070,
             full_formulation: false,
             ring: RingClass::Bl,
+            robustness: RobustnessConfig::default(),
         }
     }
 }
@@ -97,6 +105,18 @@ impl CoreMapper {
         Self { config }
     }
 
+    /// A mapper with the aggressive fault-tolerance profile
+    /// ([`RobustnessConfig::hardened`]) and otherwise default tunables —
+    /// the configuration for flaky production machines.
+    pub fn hardened() -> Self {
+        Self {
+            config: MapperConfig {
+                robustness: RobustnessConfig::hardened(),
+                ..MapperConfig::default()
+            },
+        }
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &MapperConfig {
         &self.config
@@ -123,52 +143,61 @@ impl CoreMapper {
         &self,
         machine: &mut T,
     ) -> Result<(CoreMap, MapDiagnostics), MapError> {
+        let mut hard = Harden::new(self.config.robustness.clone());
+
         // Root check up front: the PPIN read doubles as the privilege test
-        // and keys the result to the physical chip.
-        let ppin = Ppin::new(machine.read_msr(MSR_PPIN)?);
+        // and keys the result to the physical chip. A transient fault here
+        // must not kill the whole run, so it retries like any other MSR
+        // access; a *persistent* denial still surfaces as the same error.
+        let ppin = Ppin::new(hard.msr(|| machine.read_msr(MSR_PPIN))?);
 
         // Step 1a: slice eviction sets via LLC-lookup probing.
         let sets = {
             let _span = obs::time("core.map.stage.eviction");
             let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-            eviction::build_all_sets(machine, &mut rng, self.config.probe_iters)?
+            eviction::build_all_sets_with(machine, &mut rng, self.config.probe_iters, &mut hard)?
         };
 
         // Step 1b: OS core ID <-> CHA ID mapping.
         let mapping = {
             let _span = obs::time("core.map.stage.cha_map");
-            cha_map::discover(machine, &sets, self.config.thrash_rounds)?
+            cha_map::discover_with(machine, &sets, self.config.thrash_rounds, &mut hard)?
         };
 
         // Step 2: all-pairs traffic observation on the configured ring.
         let observations = {
             let _span = obs::time("core.map.stage.traffic");
             match self.config.ring {
-                RingClass::Bl => traffic::observe_all(
+                RingClass::Bl => traffic::observe_all_with(
                     machine,
                     &mapping,
                     &sets,
                     self.config.ping_iters,
                     self.config.pair_stride,
+                    &mut hard,
                 )?,
-                RingClass::Ad => traffic::observe_all_ad(
+                RingClass::Ad => traffic::observe_all_ad_with(
                     machine,
                     &mapping,
                     &sets,
                     (self.config.ping_iters / 8).max(2),
+                    &mut hard,
                 )?,
                 RingClass::Iv => return Err(MapError::InconsistentObservations),
             }
         };
 
-        // Step 3: ILP reconstruction.
-        let rec = {
+        // Step 3: ILP reconstruction with graceful degradation — an
+        // inconsistent minority of observations is discarded and the solve
+        // repeated rather than aborting the campaign.
+        let (rec, quality) = {
             let _span = obs::time("core.map.stage.ilp");
-            if self.config.full_formulation {
-                ilp_model::reconstruct_full(&observations, machine.grid_dim())?
-            } else {
-                ilp_model::reconstruct(&observations, machine.grid_dim())?
-            }
+            harden::reconstruct_degrading(
+                &observations,
+                machine.grid_dim(),
+                self.config.full_formulation,
+                &self.config.robustness,
+            )?
         };
 
         let map = CoreMap::new(
@@ -183,6 +212,7 @@ impl CoreMapper {
             ilp_stats: rec.stats,
             ilp_objective: rec.objective,
             machine_ops: machine.op_count(),
+            quality,
         };
         obs::add("core.machine.ops", diagnostics.machine_ops);
         Ok((map, diagnostics))

@@ -9,6 +9,7 @@ use coremap_mesh::Direction;
 use coremap_uncore::msr::{counter, counter_ctl, unit_ctl, UNIT_CTL_FREEZE, UNIT_CTL_RESET};
 use coremap_uncore::{ChannelCounts, MsrError, RingClass, UncoreEvent};
 
+use crate::harden::Harden;
 use crate::MachineBackend;
 
 /// Programs all CHA banks to count the four BL-ring ingress directions:
@@ -108,6 +109,27 @@ pub fn read_ring<T: MachineBackend>(machine: &T, cha: usize) -> Result<ChannelCo
 /// Propagates MSR access failures.
 pub fn read_llc_lookup<T: MachineBackend>(machine: &T, cha: usize) -> Result<u64, MsrError> {
     machine.read_msr(counter(cha, 0))
+}
+
+/// [`read_ring`] under a hardening policy: each of the four counters is
+/// read median-of-k with MSR retry, so a dropped or jittered readout is
+/// absorbed instead of silently corrupting the channel counts.
+///
+/// # Errors
+///
+/// Propagates MSR access failures once retries are exhausted.
+pub fn read_ring_with<T: MachineBackend>(
+    machine: &T,
+    cha: usize,
+    harden: &mut Harden,
+) -> Result<ChannelCounts, MsrError> {
+    Ok(ChannelCounts {
+        llc_lookup: 0,
+        up: harden.counter(|| machine.read_msr(counter(cha, 0)))?,
+        down: harden.counter(|| machine.read_msr(counter(cha, 1)))?,
+        left: harden.counter(|| machine.read_msr(counter(cha, 2)))?,
+        right: harden.counter(|| machine.read_msr(counter(cha, 3)))?,
+    })
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::cha_map::ChaMapping;
 use crate::eviction::{self, SliceEvictionSet};
+use crate::harden::Harden;
 use crate::monitor;
 use crate::{MachineBackend, MapError};
 
@@ -129,11 +130,12 @@ fn collect_observation<T: MachineBackend>(
     source: ChaId,
     sink: ChaId,
     threshold: u64,
+    harden: &mut Harden,
 ) -> Result<PathObservation, MapError> {
     let mut vertical = Vec::new();
     let mut horizontal = Vec::new();
     for cha in 0..machine.cha_count() {
-        let c: ChannelCounts = monitor::read_ring(machine, cha)?;
+        let c: ChannelCounts = monitor::read_ring_with(machine, cha, harden)?;
         if c.vertical() >= threshold {
             let dir = if c.up >= c.down {
                 VerticalDir::Up
@@ -167,24 +169,50 @@ pub fn observe_core_pair<T: MachineBackend>(
     line_homed_at_sink: coremap_uncore::PhysAddr,
     iters: usize,
 ) -> Result<PathObservation, MapError> {
+    observe_core_pair_with(
+        machine,
+        mapping,
+        src,
+        sink,
+        line_homed_at_sink,
+        iters,
+        &mut Harden::default(),
+    )
+}
+
+/// [`observe_core_pair`] under an explicit hardening policy.
+///
+/// # Errors
+///
+/// Propagates MSR errors once the policy's retries are exhausted.
+pub fn observe_core_pair_with<T: MachineBackend>(
+    machine: &mut T,
+    mapping: &ChaMapping,
+    src: OsCoreId,
+    sink: OsCoreId,
+    line_homed_at_sink: coremap_uncore::PhysAddr,
+    iters: usize,
+    harden: &mut Harden,
+) -> Result<PathObservation, MapError> {
     obs::inc("core.traffic.core_pair_obs");
     machine.flush_caches();
     // Warm up: first write pulls the line from the sink-side home into the
     // source's L2 — opposite-direction traffic we must keep out of the
     // observation window.
     machine.write_line(src, line_homed_at_sink);
-    monitor::arm_ring(machine)?;
-    monitor::reset_all(machine)?;
+    harden.msr(|| monitor::arm_ring(machine))?;
+    harden.msr(|| monitor::reset_all(machine))?;
     for _ in 0..iters {
         machine.read_line(sink, line_homed_at_sink);
         machine.write_line(src, line_homed_at_sink);
     }
-    monitor::freeze_all(machine)?;
+    harden.msr(|| monitor::freeze_all(machine))?;
     collect_observation(
         machine,
         mapping.cha_of(src),
         mapping.cha_of(sink),
         iters as u64 / 2,
+        harden,
     )
 }
 
@@ -200,14 +228,36 @@ pub fn observe_slice_to_core<T: MachineBackend>(
     sink: OsCoreId,
     rounds: usize,
 ) -> Result<PathObservation, MapError> {
+    observe_slice_to_core_with(machine, mapping, set, sink, rounds, &mut Harden::default())
+}
+
+/// [`observe_slice_to_core`] under an explicit hardening policy.
+///
+/// # Errors
+///
+/// Propagates MSR errors once the policy's retries are exhausted.
+pub fn observe_slice_to_core_with<T: MachineBackend>(
+    machine: &mut T,
+    mapping: &ChaMapping,
+    set: &SliceEvictionSet,
+    sink: OsCoreId,
+    rounds: usize,
+    harden: &mut Harden,
+) -> Result<PathObservation, MapError> {
     obs::inc("core.traffic.slice_obs");
     machine.flush_caches();
-    monitor::arm_ring(machine)?;
-    monitor::reset_all(machine)?;
+    harden.msr(|| monitor::arm_ring(machine))?;
+    harden.msr(|| monitor::reset_all(machine))?;
     eviction::stream_reads(machine, sink, set, rounds);
-    monitor::freeze_all(machine)?;
+    harden.msr(|| monitor::freeze_all(machine))?;
     let transfers = (rounds * set.lines.len()) as u64;
-    collect_observation(machine, set.cha, mapping.cha_of(sink), transfers / 2)
+    collect_observation(
+        machine,
+        set.cha,
+        mapping.cha_of(sink),
+        transfers / 2,
+        harden,
+    )
 }
 
 /// Runs the full all-pairs observation campaign.
@@ -225,6 +275,32 @@ pub fn observe_all<T: MachineBackend>(
     iters: usize,
     pair_stride: usize,
 ) -> Result<ObservationSet, MapError> {
+    observe_all_with(
+        machine,
+        mapping,
+        sets,
+        iters,
+        pair_stride,
+        &mut Harden::default(),
+    )
+}
+
+/// [`observe_all`] under an explicit hardening policy: every path
+/// observation runs as its own stage, so a faulted `(src, sink)` pair is
+/// re-observed in isolation instead of aborting (or restarting) the whole
+/// campaign.
+///
+/// # Errors
+///
+/// As for [`observe_all`].
+pub fn observe_all_with<T: MachineBackend>(
+    machine: &mut T,
+    mapping: &ChaMapping,
+    sets: &[SliceEvictionSet],
+    iters: usize,
+    pair_stride: usize,
+    harden: &mut Harden,
+) -> Result<ObservationSet, MapError> {
     let cores = machine.os_cores();
     let mut paths = Vec::new();
     let mut pair_idx = 0usize;
@@ -240,20 +316,23 @@ pub fn observe_all<T: MachineBackend>(
             let sink_cha = mapping.cha_of(sink);
             let set = &sets[sink_cha.index()];
             let line = set.lines[0];
-            paths.push(observe_core_pair(machine, mapping, src, sink, line, iters)?);
+            paths.push(
+                harden.stage(|h| {
+                    observe_core_pair_with(machine, mapping, src, sink, line, iters, h)
+                })?,
+            );
         }
     }
     // LLC-only tiles can only act as sources.
     for &llc in &mapping.llc_only {
         for &sink in &cores {
             let set = &sets[llc.index()];
-            paths.push(observe_slice_to_core(
-                machine,
-                mapping,
-                set,
-                sink,
-                (iters / set.lines.len()).max(2),
-            )?);
+            let rounds = (iters / set.lines.len()).max(2);
+            paths.push(
+                harden.stage(|h| {
+                    observe_slice_to_core_with(machine, mapping, set, sink, rounds, h)
+                })?,
+            );
         }
     }
     Ok(ObservationSet {
@@ -286,6 +365,22 @@ pub fn observe_all_ad<T: MachineBackend>(
     sets: &[SliceEvictionSet],
     rounds: usize,
 ) -> Result<ObservationSet, MapError> {
+    observe_all_ad_with(machine, mapping, sets, rounds, &mut Harden::default())
+}
+
+/// [`observe_all_ad`] under an explicit hardening policy (stage-local
+/// re-measurement per `(core, slice)` stream, as in [`observe_all_with`]).
+///
+/// # Errors
+///
+/// Propagates MSR errors.
+pub fn observe_all_ad_with<T: MachineBackend>(
+    machine: &mut T,
+    mapping: &ChaMapping,
+    sets: &[SliceEvictionSet],
+    rounds: usize,
+    harden: &mut Harden,
+) -> Result<ObservationSet, MapError> {
     let cores = machine.os_cores();
     let mut paths = Vec::new();
     for &src in &cores {
@@ -294,20 +389,17 @@ pub fn observe_all_ad<T: MachineBackend>(
             if set.cha == src_cha {
                 continue;
             }
-            obs::inc("core.traffic.ad_obs");
-            machine.flush_caches();
-            monitor::arm_ring_on(machine, coremap_uncore::RingClass::Ad)?;
-            monitor::reset_all(machine)?;
-            eviction::stream_reads(machine, src, set, rounds);
-            monitor::freeze_all(machine)?;
-            let transfers = (rounds * set.lines.len()) as u64;
-            // Requests flow from the reading core toward the home slice.
-            paths.push(collect_observation(
-                machine,
-                src_cha,
-                set.cha,
-                transfers / 2,
-            )?);
+            paths.push(harden.stage(|h| {
+                obs::inc("core.traffic.ad_obs");
+                machine.flush_caches();
+                h.msr(|| monitor::arm_ring_on(machine, coremap_uncore::RingClass::Ad))?;
+                h.msr(|| monitor::reset_all(machine))?;
+                eviction::stream_reads(machine, src, set, rounds);
+                h.msr(|| monitor::freeze_all(machine))?;
+                let transfers = (rounds * set.lines.len()) as u64;
+                // Requests flow from the reading core toward the home slice.
+                collect_observation(machine, src_cha, set.cha, transfers / 2, h)
+            })?);
         }
     }
     Ok(ObservationSet {

@@ -141,6 +141,18 @@ pub fn observations_consistent(
     obs: &crate::ObservationSet,
     dim: coremap_mesh::GridDim,
 ) -> bool {
+    obs.paths.iter().all(|p| explains_path(positions, p, dim))
+}
+
+/// Per-path variant of [`observations_consistent`]: whether the placement
+/// explains one observation. The degradation pass of
+/// [`harden`](crate::harden) uses this to isolate the inconsistent
+/// minority instead of rejecting the whole set.
+pub fn explains_path(
+    positions: &[TileCoord],
+    p: &crate::PathObservation,
+    dim: coremap_mesh::GridDim,
+) -> bool {
     use crate::traffic::VerticalDir;
     use coremap_mesh::route::route;
     use coremap_mesh::Direction;
@@ -149,37 +161,32 @@ pub fn observations_consistent(
     let tile_of = |cha: ChaId| positions[cha.index()];
     let cha_at = |coord: TileCoord| -> Option<usize> { positions.iter().position(|&p| p == coord) };
 
-    for p in &obs.paths {
-        let r = route(tile_of(p.source), tile_of(p.sink), dim);
-        let mut pred_vertical: BTreeSet<(usize, VerticalDir)> = BTreeSet::new();
-        let mut pred_horizontal: BTreeSet<usize> = BTreeSet::new();
-        for ev in r.events() {
-            let Some(cha) = cha_at(ev.tile) else { continue };
-            match ev.true_direction {
-                Direction::Up => {
-                    pred_vertical.insert((cha, VerticalDir::Up));
-                }
-                Direction::Down => {
-                    pred_vertical.insert((cha, VerticalDir::Down));
-                }
-                _ => {
-                    pred_horizontal.insert(cha);
-                }
+    let r = route(tile_of(p.source), tile_of(p.sink), dim);
+    let mut pred_vertical: BTreeSet<(usize, VerticalDir)> = BTreeSet::new();
+    let mut pred_horizontal: BTreeSet<usize> = BTreeSet::new();
+    for ev in r.events() {
+        let Some(cha) = cha_at(ev.tile) else { continue };
+        match ev.true_direction {
+            Direction::Up => {
+                pred_vertical.insert((cha, VerticalDir::Up));
+            }
+            Direction::Down => {
+                pred_vertical.insert((cha, VerticalDir::Down));
+            }
+            _ => {
+                pred_horizontal.insert(cha);
             }
         }
-        let vertical_ok = p
-            .vertical
-            .iter()
-            .all(|&(c, d)| pred_vertical.contains(&(c.index(), d)));
-        let horizontal_ok = p
-            .horizontal
-            .iter()
-            .all(|&c| pred_horizontal.contains(&c.index()));
-        if !vertical_ok || !horizontal_ok {
-            return false;
-        }
     }
-    true
+    let vertical_ok = p
+        .vertical
+        .iter()
+        .all(|&(c, d)| pred_vertical.contains(&(c.index(), d)));
+    let horizontal_ok = p
+        .horizontal
+        .iter()
+        .all(|&c| pred_horizontal.contains(&c.index()));
+    vertical_ok && horizontal_ok
 }
 
 /// CHAs that the map places adjacent (1 hop) to the given CHA which are

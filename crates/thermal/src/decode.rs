@@ -51,10 +51,29 @@ fn window_mean(samples: &[f64], from: f64, to: f64) -> f64 {
     samples[a..b].iter().sum::<f64>() / (b - a) as f64
 }
 
+/// Minimum fraction of correctly decoded preamble bits for the
+/// synchronizer to accept an offset, as a ratio: at least
+/// [`SYNC_THRESHOLD_NUM`]`/`[`SYNC_THRESHOLD_DEN`] of [`PREAMBLE`] bits
+/// must match (7 of 8 for the standard preamble). Below that the lock is
+/// considered spurious — e.g. the frame starts beyond the offset search
+/// window — and decoding fails loudly instead of returning garbage. The
+/// bound is deliberately tight: the preamble's alternating prefix
+/// self-matches 6 of 8 bits under a whole-bit shift, so anything looser
+/// cannot distinguish a mis-locked frame from a true one.
+pub const SYNC_THRESHOLD_NUM: usize = 7;
+/// Denominator of the sync acceptance ratio; see [`SYNC_THRESHOLD_NUM`].
+pub const SYNC_THRESHOLD_DEN: usize = 8;
+
 /// Searches sampling offsets for the one that best decodes the signature
 /// preamble, then decodes `n_payload` payload bits at that offset.
 ///
-/// Returns `None` only for traces shorter than one frame.
+/// Returns `None` for traces shorter than one frame, and for traces where
+/// no candidate offset decodes at least [`SYNC_THRESHOLD_NUM`]`/`
+/// [`SYNC_THRESHOLD_DEN`] of the preamble — synchronization failure. The
+/// search window spans two bit periods, so a recording whose lead-in
+/// exceeds that (the sender started later than expected) reports the
+/// failure instead of silently locking onto noise and decoding garbage;
+/// callers surface it through `TransferReport::sync_offset = None`.
 pub fn synchronize_and_decode(
     samples: &[f64],
     n_payload: usize,
@@ -95,6 +114,9 @@ pub fn synchronize_and_decode(
         }
     }
     let (preamble_score, _, offset) = best?;
+    if preamble_score * SYNC_THRESHOLD_DEN < PREAMBLE.len() * SYNC_THRESHOLD_NUM {
+        return None;
+    }
     let payload_offset = offset as f64 + PREAMBLE.len() as f64 * samples_per_bit;
     let payload = decode_at(
         samples,
@@ -182,6 +204,30 @@ mod tests {
     fn short_trace_returns_none() {
         let trace = vec![30.0; 10];
         assert!(synchronize_and_decode(&trace, 100, 20.0).is_none());
+    }
+
+    #[test]
+    fn lead_beyond_search_window_reports_sync_failure() {
+        // The offset search spans two bit periods (40 samples at spb 20).
+        // A longer lead used to lock onto whatever offset happened to score
+        // best inside the window and decode garbage; it must fail instead.
+        let payload = vec![true, false, false, true, true, false];
+        let framed = frame(&payload);
+        for lead in [70usize, 75, 101] {
+            let trace = ideal_trace(&framed, 20, lead);
+            assert!(
+                synchronize_and_decode(&trace, payload.len(), 20.0).is_none(),
+                "lead {lead} must not lock"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_trace_reports_sync_failure() {
+        // A constant trace decodes as all-false everywhere; the preamble is
+        // majority-true, so every offset scores below the 7/8 threshold.
+        let trace = vec![30.0; 2000];
+        assert!(synchronize_and_decode(&trace, 6, 20.0).is_none());
     }
 
     #[test]

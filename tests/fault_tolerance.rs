@@ -1,0 +1,160 @@
+//! The fault-tolerance contract of the hardened measurement pipeline.
+//!
+//! Four guarantees, each pinned here:
+//!
+//! 1. the fault injector under an empty plan is *op-for-op* transparent —
+//!    wrapping a backend changes nothing about a campaign;
+//! 2. under the reference fault plan (1e-4 MSR failures, 1e-3 counter
+//!    drops, ±2 jitter) the hardened profile recovers a relative-correct
+//!    map where the pre-hardening pipeline aborts;
+//! 3. a transient fault on one targeted operation — the PPIN read that
+//!    used to kill the whole run — is absorbed by the default retry
+//!    policy;
+//! 4. on a clean machine the default policy costs exactly zero extra
+//!    machine operations.
+
+use core_map::core::backend::{FaultPlan, FaultyBackend, RecordingBackend};
+use core_map::core::{verify, CoreMapper, MapError, MapperConfig, RobustnessConfig};
+use core_map::mesh::{DieTemplate, Floorplan, FloorplanBuilder};
+use core_map::uncore::{MachineConfig, MsrError, XeonMachine};
+use proptest::prelude::*;
+
+fn skylake_plan() -> Floorplan {
+    FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+        .build()
+        .expect("SkylakeXcc floorplan")
+}
+
+fn skylake() -> XeonMachine {
+    XeonMachine::new(skylake_plan(), MachineConfig::default())
+}
+
+/// The regression gate of the hardening layer: the fault rates the issue
+/// requires the hardened pipeline to survive.
+fn reference_plan(seed: u64) -> FaultPlan {
+    FaultPlan::none(seed)
+        .with_msr_fail_prob(1e-4)
+        .with_counter_drop_prob(1e-3)
+        .with_counter_jitter(2)
+}
+
+fn mapper_with(robustness: RobustnessConfig) -> CoreMapper {
+    CoreMapper::with_config(MapperConfig {
+        robustness,
+        ..MapperConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// `FaultyBackend` under `FaultPlan::none` must be invisible: the
+    /// recorded operation stream of a full mapping campaign through the
+    /// wrapper is identical to the bare backend's, whatever the campaign
+    /// seed.
+    #[test]
+    fn faultless_injector_is_op_for_op_transparent(campaign_seed in 0u64..10_000) {
+        let cfg = MapperConfig { seed: campaign_seed, ..MapperConfig::default() };
+
+        let mut bare = RecordingBackend::new(skylake());
+        let bare_map = CoreMapper::with_config(cfg.clone())
+            .map(&mut bare)
+            .expect("bare campaign maps");
+        let (_, bare_trace) = bare.into_parts();
+
+        let mut wrapped =
+            FaultyBackend::new(RecordingBackend::new(skylake()), FaultPlan::none(campaign_seed));
+        let wrapped_map = CoreMapper::with_config(cfg)
+            .map(&mut wrapped)
+            .expect("wrapped campaign maps");
+        prop_assert_eq!(wrapped.injected_faults(), 0);
+        let (_, wrapped_trace) = wrapped.into_inner().into_parts();
+
+        prop_assert_eq!(&bare_trace, &wrapped_trace, "op streams diverged");
+        prop_assert_eq!(bare_map, wrapped_map);
+    }
+}
+
+#[test]
+fn hardened_mapper_recovers_where_the_baseline_dies() {
+    let truth = skylake_plan();
+
+    // The pre-hardening pipeline (no retry, single samples, no
+    // degradation) aborts under the reference fault rates...
+    let mut baseline_machine = FaultyBackend::new(skylake(), reference_plan(2022));
+    let baseline = mapper_with(RobustnessConfig::off()).map(&mut baseline_machine);
+    assert!(
+        baseline.is_err(),
+        "baseline unexpectedly survived the reference fault plan"
+    );
+
+    // ...while the hardened profile recovers the full relative map.
+    let mut hardened_machine = FaultyBackend::new(skylake(), reference_plan(2022));
+    let (map, diag) = CoreMapper::hardened()
+        .map_with_diagnostics(&mut hardened_machine)
+        .expect("hardened mapping survives the reference fault plan");
+    assert!(
+        hardened_machine.injected_faults() > 0,
+        "plan injected nothing"
+    );
+    assert!(
+        verify::matches_relative(&map, &truth),
+        "recovered map is not relative-correct; quality: {}",
+        diag.quality
+    );
+}
+
+#[test]
+fn transient_ppin_fault_no_longer_kills_the_run() {
+    // MSR-access index 0 is the PPIN read — the first MSR operation the
+    // pipeline issues. Fault exactly that one.
+    let ppin_fault = FaultPlan::none(0).with_msr_op_faults(vec![0]);
+
+    // Without retry the old behaviour remains: the whole run dies on the
+    // transient.
+    let mut machine = FaultyBackend::new(skylake(), ppin_fault.clone());
+    let err = mapper_with(RobustnessConfig::off())
+        .map(&mut machine)
+        .unwrap_err();
+    assert_eq!(err, MapError::Msr(MsrError::PermissionDenied));
+
+    // The default policy retries and completes, and the result is the
+    // same map a clean machine produces.
+    let clean_map = CoreMapper::new().map(&mut skylake()).expect("clean map");
+    let mut machine = FaultyBackend::new(skylake(), ppin_fault);
+    let map = CoreMapper::new()
+        .map(&mut machine)
+        .expect("one transient PPIN fault must not kill the campaign");
+    assert_eq!(machine.injected_faults(), 1);
+    assert_eq!(map, clean_map);
+
+    // A *persistent* denial still surfaces as the same clean error: fault
+    // more consecutive accesses than the policy retries.
+    let stuck = FaultPlan::none(0).with_msr_op_faults((0..16).collect());
+    let mut machine = FaultyBackend::new(skylake(), stuck);
+    let err = CoreMapper::new().map(&mut machine).unwrap_err();
+    assert_eq!(err, MapError::Msr(MsrError::PermissionDenied));
+}
+
+#[test]
+fn hardening_defaults_add_no_overhead_on_a_clean_machine() {
+    let truth = skylake_plan();
+
+    let (map_default, diag_default) = CoreMapper::new()
+        .map_with_diagnostics(&mut skylake())
+        .expect("default map");
+    let (map_off, diag_off) = mapper_with(RobustnessConfig::off())
+        .map_with_diagnostics(&mut skylake())
+        .expect("pre-hardening map");
+
+    // Retry only engages on failure and the default takes single counter
+    // samples, so a clean campaign must be *identical*, not merely close.
+    assert_eq!(diag_default.machine_ops, diag_off.machine_ops);
+    assert_eq!(map_default, map_off);
+    assert!(verify::matches_exactly(&map_default, &truth));
+    assert!(
+        !diag_default.quality.is_degraded(),
+        "clean campaign misreported as degraded: {}",
+        diag_default.quality
+    );
+}

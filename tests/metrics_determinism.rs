@@ -9,10 +9,12 @@
 
 use std::sync::Arc;
 
-use core_map::core::backend::{RecordingBackend, ReplayBackend};
+use core_map::core::backend::{FaultPlan, FaultyBackend, RecordingBackend, ReplayBackend};
 use core_map::core::CoreMapper;
 use core_map::fleet::{CloudFleet, CloudInstance, CpuModel, FleetRunner};
+use core_map::mesh::{DieTemplate, FloorplanBuilder};
 use core_map::obs;
+use core_map::uncore::{MachineConfig, XeonMachine};
 
 /// Runs a small fixed-seed mapping campaign under a fresh registry and
 /// returns the deterministic JSON snapshot.
@@ -121,4 +123,46 @@ fn replayed_campaign_reproduces_the_recorded_counters() {
         );
     }
     assert_eq!(replay_reg.counter_value("core.replay.divergences"), 0);
+}
+
+/// Runs a hardened mapping campaign against a seeded fault injector under
+/// a fresh registry and returns the deterministic snapshot.
+fn hardened_faulty_snapshot() -> String {
+    let reg = Arc::new(obs::Registry::new());
+    {
+        let _guard = obs::install(reg.clone());
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .build()
+            .expect("floorplan");
+        let machine = XeonMachine::new(plan, MachineConfig::default());
+        let faults = FaultPlan::none(2022)
+            .with_msr_fail_prob(1e-4)
+            .with_counter_drop_prob(1e-3)
+            .with_counter_jitter(2);
+        let mut faulty = FaultyBackend::new(machine, faults);
+        CoreMapper::hardened()
+            .map(&mut faulty)
+            .expect("hardened campaign survives the reference fault plan");
+    }
+    reg.to_json(false)
+}
+
+#[test]
+fn hardened_faulty_campaign_exports_deterministic_recovery_counters() {
+    let first = hardened_faulty_snapshot();
+    let second = hardened_faulty_snapshot();
+    // Retry backoff is drawn from the policy's seeded stream and counted
+    // in steps rather than slept in wall-clock, so even a fault-riddled
+    // campaign exports byte-identical recovery metrics.
+    assert_eq!(
+        first, second,
+        "hardened faulty campaign must be deterministically instrumented"
+    );
+    for key in [
+        "core.retry.attempts",
+        "core.retry.backoff_steps",
+        "core.harden.resamples",
+    ] {
+        assert!(first.contains(key), "missing {key} in:\n{first}");
+    }
 }
