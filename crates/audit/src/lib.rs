@@ -1,0 +1,53 @@
+//! `coremap-audit` — the workspace's tidy-style static analysis pass.
+//!
+//! The measurement pipeline's correctness rests on invariants a compiler
+//! does not check: byte-identical record→replay determinism, all machine
+//! access flowing through the `MachineBackend` trait, and panic/poison
+//! safety in the parallel fleet runner. Each was enforced by convention
+//! and restored by hand after regressions (the `ilp_model`
+//! `HashSet`→`BTreeSet` migration; the counted-backoff retry policy).
+//! This crate enforces them mechanically, in the style of rustc's `tidy`:
+//!
+//! * a small Rust [`lexer`] (comment/string/attribute-aware — *not* grep),
+//! * a [`lints`] registry scoped by the path [`policy`],
+//! * per-line suppression via `// audit: allow(<lint>): <justification>`
+//!   comments with *mandatory* justification text,
+//! * human-readable and deterministic JSON (`coremap-audit/v1`)
+//!   [`report`]ers.
+//!
+//! Run it as `cargo run -p coremap-audit -- --check`; CI gates on the
+//! exit code. See `DESIGN.md` §3.9 for each lint's rationale and the
+//! suppression policy.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod lints;
+pub mod policy;
+pub mod report;
+pub mod source;
+pub mod walk;
+
+use std::path::Path;
+
+pub use lints::{audit_file, Violation, LINTS};
+pub use report::Report;
+pub use source::SourceFile;
+
+/// Audits every workspace source file under `root`.
+///
+/// # Errors
+///
+/// Returns an [`std::io::Error`] if the tree cannot be walked or a file
+/// cannot be read.
+pub fn audit_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for rel in walk::workspace_files(root)? {
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        let file = SourceFile::parse(&rel, &text);
+        let (violations, suppressed) = audit_file(&file);
+        report.absorb(violations, suppressed);
+    }
+    report.finish();
+    Ok(report)
+}

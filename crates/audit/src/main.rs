@@ -1,0 +1,80 @@
+//! CLI entry point: `cargo run -p coremap-audit -- --check`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use coremap_audit::{audit_workspace, LINTS};
+
+const USAGE: &str = "\
+coremap-audit — static analysis pass for the core-map workspace
+
+USAGE:
+    coremap-audit [--check] [--root <dir>] [--json <path|->] [--list-lints]
+
+OPTIONS:
+    --check         Exit non-zero if any unsuppressed violation is found
+                    (the CI gate; also the default behavior)
+    --root <dir>    Workspace root to scan (default: current directory)
+    --json <path>   Also write the deterministic coremap-audit/v1 JSON
+                    report to <path>, or to stdout when <path> is `-`
+    --list-lints    Print every lint and its rationale, then exit
+    --help          Show this help
+";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {} // gating on violations is the default
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return fail("--root requires a directory argument"),
+            },
+            "--json" => match args.next() {
+                Some(path) => json = Some(path),
+                None => return fail("--json requires a path argument (or `-`)"),
+            },
+            "--list-lints" => {
+                for (name, rationale) in LINTS {
+                    println!("{name}\n    {rationale}\n");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match audit_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("coremap-audit: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = json {
+        let body = report.json();
+        if path == "-" {
+            print!("{body}");
+        } else if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("coremap-audit: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    print!("{}", report.human());
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("coremap-audit: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

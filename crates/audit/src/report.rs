@@ -1,0 +1,209 @@
+//! Human-readable and machine-readable (`coremap-audit/v1`) reports.
+//!
+//! The JSON report is emitted by a hand-rolled writer, not a
+//! serialization library: the report must be byte-identical across runs
+//! (CI diffs it), so key order, number formatting and escaping are all
+//! pinned here rather than inherited from a dependency.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::lints::Violation;
+
+/// Everything one audit run found, plus scan statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Surviving violations, sorted by `(file, line, lint, message)`.
+    pub violations: Vec<Violation>,
+    /// Candidates waived by well-formed justified annotations.
+    pub suppressed: usize,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Merges one file's results into the report.
+    pub fn absorb(&mut self, violations: Vec<Violation>, suppressed: usize) {
+        self.violations.extend(violations);
+        self.suppressed += suppressed;
+        self.files_scanned += 1;
+    }
+
+    /// Sorts violations into the canonical report order.
+    pub fn finish(&mut self) {
+        self.violations.sort();
+    }
+
+    /// Whether the audit passed (no unsuppressed violations).
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Per-lint violation counts, in lint-name order.
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for v in &self.violations {
+            *counts.entry(v.lint).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// The human-readable report: one `file:line: [lint] message` per
+    /// violation, then a summary line.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(out, "{}:{}: [{}] {}", v.file, v.line, v.lint, v.message);
+        }
+        if self.violations.is_empty() {
+            let _ = writeln!(
+                out,
+                "audit clean: {} files scanned, {} suppressed site(s)",
+                self.files_scanned, self.suppressed
+            );
+        } else {
+            let per_lint: Vec<String> = self
+                .counts()
+                .iter()
+                .map(|(lint, n)| format!("{lint}: {n}"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "audit FAILED: {} violation(s) in {} file(s) scanned ({}); {} suppressed site(s)",
+                self.violations.len(),
+                self.files_scanned,
+                per_lint.join(", "),
+                self.suppressed
+            );
+        }
+        out
+    }
+
+    /// The `coremap-audit/v1` JSON report. Deterministic: fixed key order,
+    /// violations pre-sorted, trailing newline.
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"coremap-audit/v1\",");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed);
+        out.push_str("  \"counts\": {");
+        let counts = self.counts();
+        let entries: Vec<String> = counts
+            .iter()
+            .map(|(lint, n)| format!("\"{lint}\": {n}"))
+            .collect();
+        out.push_str(&entries.join(", "));
+        out.push_str("},\n");
+        out.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    {{\"file\": {}, \"line\": {}, \"lint\": {}, \"message\": {}}}",
+                json_string(&v.file),
+                v.line,
+                json_string(v.lint),
+                json_string(&v.message)
+            );
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal, quotes included.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::default();
+        r.absorb(
+            vec![
+                Violation {
+                    file: "crates/ilp/src/presolve.rs".into(),
+                    line: 15,
+                    lint: "determinism",
+                    message: "`HashMap` on a deterministic path".into(),
+                },
+                Violation {
+                    file: "crates/core/src/mapper.rs".into(),
+                    line: 3,
+                    lint: "panic-safety",
+                    message: "`.unwrap()` in library code".into(),
+                },
+            ],
+            2,
+        );
+        r.absorb(Vec::new(), 1);
+        r.finish();
+        r
+    }
+
+    #[test]
+    fn human_report_names_file_line_and_lint() {
+        let text = sample().human();
+        assert!(text.contains("crates/ilp/src/presolve.rs:15: [determinism]"));
+        assert!(text.contains("audit FAILED: 2 violation(s) in 2 file(s)"));
+        assert!(text.contains("determinism: 1"));
+    }
+
+    #[test]
+    fn violations_sort_by_file_then_line() {
+        let r = sample();
+        assert_eq!(r.violations[0].file, "crates/core/src/mapper.rs");
+        assert_eq!(r.violations[1].file, "crates/ilp/src/presolve.rs");
+    }
+
+    #[test]
+    fn json_is_schema_tagged_and_escapes_strings() {
+        let j = sample().json();
+        assert!(j.starts_with("{\n  \"schema\": \"coremap-audit/v1\","));
+        assert!(j.contains("\"suppressed\": 3"));
+        assert!(j.contains("\\u0060HashMap\\u0060") || j.contains("`HashMap`"));
+        assert!(j.ends_with("]\n}\n"));
+    }
+
+    #[test]
+    fn json_is_byte_identical_across_runs() {
+        assert_eq!(sample().json(), sample().json());
+    }
+
+    #[test]
+    fn empty_report_is_clean_with_empty_array() {
+        let mut r = Report::default();
+        r.finish();
+        assert!(r.clean());
+        assert!(r.json().contains("\"violations\": []"));
+        assert!(r.human().contains("audit clean"));
+    }
+
+    #[test]
+    fn json_string_escaping_covers_controls() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,290 @@
+//! Per-file source model: token stream, `#[cfg(test)]` regions, and
+//! `// audit: allow(...)` suppression annotations.
+//!
+//! The lints never look at raw text; they query this model. That keeps
+//! the "is this token test-only code?" and "is this line suppressed?"
+//! decisions in one place, with the same answers for every lint.
+
+use crate::lexer::{lex, Token};
+
+/// Marker that introduces a suppression comment.
+pub const ALLOW_MARKER: &str = "audit: allow(";
+
+/// A parsed `// audit: allow(<lint>): <justification>` annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Line the comment sits on (1-based).
+    pub line: u32,
+    /// The lint name inside `allow(...)`.
+    pub lint: String,
+    /// The justification text after the closing `):`. Empty if missing —
+    /// which the `malformed-suppression` lint rejects.
+    pub justification: String,
+    /// Whether the annotation parsed completely (`allow(<lint>): <text>`).
+    pub well_formed: bool,
+}
+
+/// A lexed source file plus the derived region/annotation structure.
+#[derive(Debug)]
+pub struct SourceFile<'a> {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Raw source text.
+    pub text: &'a str,
+    /// Token stream.
+    pub tokens: Vec<Token<'a>>,
+    /// Line ranges (1-based, inclusive) covered by `#[cfg(test)]` items.
+    pub test_regions: Vec<(u32, u32)>,
+    /// All suppression annotations, in line order.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl<'a> SourceFile<'a> {
+    /// Lexes `text` and derives regions and annotations.
+    pub fn parse(path: &str, text: &'a str) -> Self {
+        let tokens = lex(text);
+        let test_regions = find_cfg_test_regions(&tokens);
+        let suppressions = find_suppressions(&tokens);
+        Self {
+            path: path.replace('\\', "/"),
+            text,
+            tokens,
+            test_regions,
+            suppressions,
+        }
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]` item.
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// The suppression covering a violation of `lint` on `line`, if any.
+    ///
+    /// An annotation covers its own line and the line directly below it,
+    /// so both trailing comments and whole-line comments above work:
+    ///
+    /// ```text
+    /// let x = m.get(k).unwrap(); // audit: allow(panic-safety): k inserted above
+    ///
+    /// // audit: allow(panic-safety): k inserted above
+    /// let x = m.get(k).unwrap();
+    /// ```
+    pub fn suppression_for(&self, lint: &str, line: u32) -> Option<&Suppression> {
+        self.suppressions
+            .iter()
+            .find(|s| s.lint == lint && (s.line == line || s.line + 1 == line))
+    }
+
+    /// Code tokens only (comments stripped), preserving order.
+    pub fn code_tokens(&self) -> impl Iterator<Item = &Token<'a>> {
+        self.tokens.iter().filter(|t| t.is_code())
+    }
+}
+
+/// Parses every `audit: allow(...)` annotation out of the comment tokens.
+///
+/// Doc comments (`///`, `//!`, `/**`, `/*!`) are skipped: they are part of
+/// the rendered API documentation, not annotations, and may legitimately
+/// *quote* the suppression syntax when documenting it.
+fn find_suppressions(tokens: &[Token<'_>]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for tok in tokens {
+        let Some(comment) = tok.comment() else {
+            continue;
+        };
+        if comment.starts_with("///")
+            || comment.starts_with("//!")
+            || comment.starts_with("/**")
+            || comment.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(pos) = comment.find(ALLOW_MARKER) else {
+            continue;
+        };
+        let after = &comment[pos + ALLOW_MARKER.len()..];
+        let (lint, rest, closed) = match after.find(')') {
+            Some(p) => (&after[..p], &after[p + 1..], true),
+            None => (after, "", false),
+        };
+        let lint = lint.trim().to_string();
+        let justification = rest
+            .trim_start()
+            .strip_prefix(':')
+            .map(|j| j.trim())
+            .unwrap_or("")
+            .to_string();
+        let well_formed = closed
+            && !lint.is_empty()
+            && lint.chars().all(|c| c.is_ascii_alphanumeric() || c == '-')
+            && !justification.is_empty();
+        out.push(Suppression {
+            line: tok.line,
+            lint,
+            justification,
+            well_formed,
+        });
+    }
+    out
+}
+
+/// Finds the line ranges of items gated behind `#[cfg(test)]`.
+///
+/// Recognizes `#[cfg(test)]` and compound forms whose predicate mentions
+/// the bare `test` flag (`#[cfg(all(test, feature = "x"))]`). After the
+/// attribute (and any further attributes), the gated item extends either
+/// to the matching `}` of its first brace (mod / fn / impl) or to the
+/// terminating `;` (use declarations, `mod x;`).
+fn find_cfg_test_regions(tokens: &[Token<'_>]) -> Vec<(u32, u32)> {
+    let code: Vec<&Token<'_>> = tokens.iter().filter(|t| t.is_code()).collect();
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !(code[i].is_punct('#') && i + 1 < code.len() && code[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's tokens up to the matching `]`.
+        let attr_start = i;
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut attr_end = None;
+        while j < code.len() {
+            if code[j].is_punct('[') {
+                depth += 1;
+            } else if code[j].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    attr_end = Some(j);
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let Some(attr_end) = attr_end else { break };
+        let attr = &code[attr_start..=attr_end];
+        let is_cfg_test = attr.iter().any(|t| t.ident() == Some("cfg"))
+            && attr.iter().any(|t| t.ident() == Some("test"));
+        i = attr_end + 1;
+        if !is_cfg_test {
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut k = i;
+        while k + 1 < code.len() && code[k].is_punct('#') && code[k + 1].is_punct('[') {
+            let mut d = 0usize;
+            let mut m = k + 1;
+            while m < code.len() {
+                if code[m].is_punct('[') {
+                    d += 1;
+                } else if code[m].is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                m += 1;
+            }
+            k = m + 1;
+        }
+        // The item body: to the matching `}` of the first `{`, or to `;`
+        // if one appears first (e.g. `#[cfg(test)] use ...;`).
+        let mut brace_depth = 0usize;
+        let mut end_line = code.get(k).map_or(code[attr_end].line, |t| t.line);
+        while k < code.len() {
+            let t = code[k];
+            if t.is_punct('{') {
+                brace_depth += 1;
+            } else if t.is_punct('}') {
+                brace_depth = brace_depth.saturating_sub(1);
+                if brace_depth == 0 {
+                    end_line = t.line;
+                    break;
+                }
+            } else if t.is_punct(';') && brace_depth == 0 {
+                end_line = t.line;
+                break;
+            }
+            k += 1;
+        }
+        regions.push((code[attr_start].line, end_line));
+        i = k + 1;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_region_spans_the_whole_block() {
+        let src = "fn lib() {}\n\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn t() { lib(); }\n}\nfn after() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.test_regions, vec![(3, 8)]);
+        assert!(!f.in_test_region(1));
+        assert!(f.in_test_region(5));
+        assert!(f.in_test_region(7));
+        assert!(!f.in_test_region(9));
+    }
+
+    #[test]
+    fn cfg_test_use_declaration_region_is_one_item() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn real() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.test_regions, vec![(1, 2)]);
+        assert!(!f.in_test_region(3));
+    }
+
+    #[test]
+    fn cfg_all_test_counts_as_test_region() {
+        let src = "#[cfg(all(test, unix))]\nmod t { fn f() {} }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.test_regions.len(), 1);
+    }
+
+    #[test]
+    fn cfg_not_mentioning_test_is_ignored() {
+        let src = "#[cfg(feature = \"extra\")]\nmod m { fn f() {} }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.test_regions.is_empty());
+    }
+
+    #[test]
+    fn suppressions_parse_with_justification() {
+        let src = "let x = 1; // audit: allow(panic-safety): index proven in bounds\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.suppressions.len(), 1);
+        let s = &f.suppressions[0];
+        assert!(s.well_formed);
+        assert_eq!(s.lint, "panic-safety");
+        assert_eq!(s.justification, "index proven in bounds");
+        assert!(f.suppression_for("panic-safety", 1).is_some());
+        assert!(f.suppression_for("determinism", 1).is_none());
+    }
+
+    #[test]
+    fn suppression_covers_the_next_line_too() {
+        let src = "// audit: allow(determinism): volatile wall-clock metric\nlet t = now();\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.suppression_for("determinism", 2).is_some());
+        assert!(f.suppression_for("determinism", 3).is_none());
+    }
+
+    #[test]
+    fn missing_justification_is_malformed() {
+        for src in [
+            "// audit: allow(panic-safety)\n",
+            "// audit: allow(panic-safety):\n",
+            "// audit: allow(panic-safety):   \n",
+            "// audit: allow(): because\n",
+        ] {
+            let f = SourceFile::parse("x.rs", src);
+            assert_eq!(f.suppressions.len(), 1, "{src:?}");
+            assert!(!f.suppressions[0].well_formed, "{src:?}");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Workspace file discovery.
+//!
+//! Walks the real source trees of the workspace — `crates/*/{src,tests,
+//! examples,benches}` plus the root crate's `src/` and `tests/` — and
+//! yields `.rs` files as workspace-relative `/`-separated paths in sorted
+//! order, so the audit scans (and therefore reports) identically on every
+//! machine. `vendor/` and `target/` are never entered; `fixtures/`
+//! directories are yielded but classified [`CodeKind::Fixture`] and
+//! skipped by the lints.
+//!
+//! [`CodeKind::Fixture`]: crate::policy::CodeKind::Fixture
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const PRUNED: [&str; 4] = ["vendor", "target", ".git", ".github"];
+
+/// Collects every auditable `.rs` file under `root`, workspace-relative,
+/// sorted.
+///
+/// # Errors
+///
+/// Returns an [`std::io::Error`] when `root` or a subdirectory cannot be
+/// read — the audit must fail loudly, not report "clean" on a tree it
+/// could not see.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !PRUNED.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn walk_finds_this_crate_and_prunes_vendor() {
+        // When run from the workspace (cargo test), the manifest dir's
+        // parent-parent is the workspace root.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let files = workspace_files(root).expect("walk");
+        assert!(files.iter().any(|f| f == "crates/audit/src/walk.rs"));
+        assert!(files.iter().any(|f| f == "crates/ilp/src/presolve.rs"));
+        assert!(!files.iter().any(|f| f.starts_with("vendor/")));
+        assert!(!files.iter().any(|f| f.starts_with("target/")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "walk output is sorted");
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: broken annotations. A justification-less allow, an unknown
+//! lint name, and a stale allow covering nothing — each must surface as a
+//! meta-lint violation, and the justification-less one must waive nothing.
+
+use std::collections::HashMap; // audit: allow(determinism)
+
+fn order_dependent(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.values().copied().collect()
+}
+
+// audit: allow(determinizm): typo in the lint name
+fn typod() {}
+
+// audit: allow(panic-safety): left behind after the unwrap was refactored away
+fn stale() {}

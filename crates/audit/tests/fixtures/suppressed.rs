@@ -1,0 +1,25 @@
+//! Fixture: genuine hits, each waived by a well-formed justified
+//! annotation — the audit must report zero violations and count every
+//! suppression as used.
+
+use std::sync::Mutex;
+
+// audit: allow(determinism): scratch map, drained through sorted keys before anything order-dependent happens
+use std::collections::HashMap;
+
+// audit: allow(determinism): same scratch map — only its sorted key list escapes
+fn scratch(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn certain(r: Result<u64, ()>) -> u64 {
+    // audit: allow(panic-safety): infallible — the caller constructed `r` as Ok two lines up
+    r.unwrap()
+}
+
+fn counter_window(m: &Mutex<u64>) -> u64 {
+    // audit: allow(panic-safety): single-threaded fixture — no sibling can poison this lock
+    *m.lock().unwrap()
+}

@@ -1,0 +1,36 @@
+//! Fixture: clean code that mentions every forbidden token only where the
+//! lexer must ignore it — comments, strings, doc text — plus exempt test
+//! regions. A naive grep flags all of it; the auditor must flag none.
+
+use std::collections::BTreeMap;
+
+/// Replaces the old `HashMap` accumulator; `Instant::now()` is only named
+/// in this doc comment, never called.
+fn canonical(m: &BTreeMap<u32, u32>) -> Vec<u32> {
+    // The string below is data, not code: HashMap::new() and unwrap().
+    let banner = "HashMap::new() then .unwrap() then panic!";
+    let _ = banner;
+    m.values().copied().collect()
+}
+
+fn graceful(r: Result<u64, ()>) -> u64 {
+    r.unwrap_or_default()
+}
+
+fn tolerant(m: &std::sync::Mutex<u64>) -> u64 {
+    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_unwrap_and_hash() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert_eq!(m.get(&1).copied(), None);
+        let r: Result<u64, ()> = Ok(1);
+        assert_eq!(r.unwrap(), 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Fixture: every lint has at least one genuine hit. Audited by the
+//! self-check tests under a synthetic library path; the real workspace
+//! scan skips everything below a `fixtures/` directory.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn order_dependent(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.values().copied().collect()
+}
+
+fn stamp() -> Instant {
+    Instant::now()
+}
+
+fn touch_pmon() -> u64 {
+    let reg = unit_ctl(3) | UNIT_CTL_FREEZE;
+    reg
+}
+
+fn read_it(r: Result<u64, ()>) -> u64 {
+    r.unwrap()
+}
+
+fn grab(m: &std::sync::Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}
+
+fn boom() {
+    panic!("no");
+}
+
+fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

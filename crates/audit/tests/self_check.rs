@@ -1,0 +1,147 @@
+//! The auditor audited: fixture files exercise every lint end to end —
+//! true positives, lexer-aware true negatives, justified suppressions and
+//! broken annotations — and the workspace scan itself must be
+//! deterministic down to the byte.
+
+// Test/bench harness: unwraps abort the harness, which is the desired failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::Path;
+
+use coremap_audit::{audit_file, audit_workspace, Report, SourceFile, Violation};
+
+/// Parses a fixture under a synthetic *library* path so the full lint set
+/// applies (the real scan classifies anything under `fixtures/` as exempt).
+fn audit_fixture(text: &str) -> (Vec<Violation>, usize) {
+    let file = SourceFile::parse("crates/ilp/src/fixture.rs", text);
+    audit_file(&file)
+}
+
+fn lints_of(violations: &[Violation]) -> Vec<&'static str> {
+    violations.iter().map(|v| v.lint).collect()
+}
+
+#[test]
+fn true_positive_fixture_trips_every_lint() {
+    let (violations, suppressed) = audit_fixture(include_str!("fixtures/true_positive.rs"));
+    assert_eq!(suppressed, 0);
+
+    let lints = lints_of(&violations);
+    let count = |l: &str| lints.iter().filter(|&&x| x == l).count();
+    // `use HashMap`, the signature mention, and `Instant::now()`; the
+    // stored `Instant` return type must NOT be flagged.
+    assert_eq!(count("determinism"), 3, "{violations:#?}");
+    // `unit_ctl` and `UNIT_CTL_FREEZE` on one line.
+    assert_eq!(count("backend-discipline"), 2, "{violations:#?}");
+    // `.unwrap()`, `.lock().unwrap()`, `panic!`.
+    assert_eq!(count("panic-safety"), 3, "{violations:#?}");
+    assert_eq!(count("unsafe-audit"), 1, "{violations:#?}");
+
+    // Every violation names the synthetic file and a real line.
+    for v in &violations {
+        assert_eq!(v.file, "crates/ilp/src/fixture.rs");
+        assert!(v.line > 0);
+    }
+    // The poisonable lock gets steered to the helper by name.
+    assert!(
+        violations.iter().any(|v| v.message.contains("lock_clean")),
+        "{violations:#?}"
+    );
+}
+
+#[test]
+fn true_negative_fixture_is_clean_despite_greppable_tokens() {
+    // The fixture names HashMap / unwrap / panic! in doc comments, line
+    // comments and string literals, and unwraps inside `#[cfg(test)]` —
+    // all places a naive grep fires and a lexer must not.
+    let (violations, suppressed) = audit_fixture(include_str!("fixtures/true_negative.rs"));
+    assert_eq!(violations, Vec::new());
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn suppressed_fixture_is_clean_and_counts_each_waiver() {
+    let (violations, suppressed) = audit_fixture(include_str!("fixtures/suppressed.rs"));
+    assert_eq!(violations, Vec::new());
+    // Two HashMap mentions, one plain unwrap, one lock unwrap.
+    assert_eq!(suppressed, 4);
+}
+
+#[test]
+fn malformed_fixture_reports_broken_annotations_and_waives_nothing() {
+    let (violations, suppressed) = audit_fixture(include_str!("fixtures/malformed.rs"));
+    assert_eq!(suppressed, 0, "{violations:#?}");
+
+    let lints = lints_of(&violations);
+    // The justification-less allow and the unknown lint name.
+    assert_eq!(
+        lints
+            .iter()
+            .filter(|&&l| l == "malformed-suppression")
+            .count(),
+        2,
+        "{violations:#?}"
+    );
+    // The stale allow over a clean function.
+    assert_eq!(
+        lints.iter().filter(|&&l| l == "unused-suppression").count(),
+        1,
+        "{violations:#?}"
+    );
+    // The violation the malformed annotation sat on still surfaces.
+    assert!(lints.contains(&"determinism"), "{violations:#?}");
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.lint == "malformed-suppression" && v.message.contains("determinizm")),
+        "{violations:#?}"
+    );
+}
+
+#[test]
+fn seeded_violation_is_reported_with_file_line_and_lint() {
+    // The acceptance scenario: a stray HashMap iteration lands in the
+    // solver. The report must go non-clean and name the exact location.
+    let src =
+        "fn merge() {\n    let m = std::collections::HashMap::new();\n    m.insert(1, 2);\n}\n";
+    let file = SourceFile::parse("crates/ilp/src/seeded.rs", src);
+    let (violations, _) = audit_file(&file);
+    assert_eq!(violations.len(), 1, "{violations:#?}");
+    assert_eq!(violations[0].file, "crates/ilp/src/seeded.rs");
+    assert_eq!(violations[0].line, 2);
+    assert_eq!(violations[0].lint, "determinism");
+
+    let mut report = Report::default();
+    report.absorb(violations, 0);
+    report.finish();
+    assert!(!report.clean());
+    assert!(report.human().contains("crates/ilp/src/seeded.rs:2"));
+    assert!(report.json().contains("\"lint\": \"determinism\""));
+}
+
+fn workspace_root() -> &'static Path {
+    // crates/audit -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+}
+
+#[test]
+fn workspace_scan_is_clean_and_json_is_byte_identical_across_runs() {
+    let first = audit_workspace(workspace_root()).expect("scan");
+    let second = audit_workspace(workspace_root()).expect("scan");
+    assert!(
+        first.clean(),
+        "workspace must audit clean:\n{}",
+        first.human()
+    );
+    assert_eq!(
+        first.json(),
+        second.json(),
+        "audit JSON must be byte-identical across runs"
+    );
+    assert!(first
+        .json()
+        .starts_with("{\n  \"schema\": \"coremap-audit/v1\""));
+}

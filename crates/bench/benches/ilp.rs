@@ -2,6 +2,9 @@
 //! formulations, including the branching-rule ablation called out in
 //! DESIGN.md.
 
+// Test/bench harness: unwraps abort the harness, which is the desired failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_core::ilp_model::{reconstruct, reconstruct_full};
 use coremap_core::traffic::ObservationSet;
 use coremap_ilp::{Branching, Cmp, Model};

@@ -1,5 +1,8 @@
 //! Criterion benchmarks of the mapping pipeline and its stages.
 
+// Test/bench harness: unwraps abort the harness, which is the desired failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_core::{cha_map, eviction, ilp_model, traffic, CoreMapper};
 use coremap_fleet::{CloudFleet, CpuModel};
 use criterion::{criterion_group, criterion_main, Criterion};

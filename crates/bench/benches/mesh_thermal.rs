@@ -1,6 +1,9 @@
 //! Criterion benchmarks of the substrate kernels: mesh routing, machine
 //! cache operations and the RC thermal step.
 
+// Test/bench harness: unwraps abort the harness, which is the desired failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_mesh::{route::route, DieTemplate, FloorplanBuilder, GridDim, OsCoreId, TileCoord};
 use coremap_thermal::{RcGrid, ThermalParams};
 use coremap_uncore::{MachineConfig, PhysAddr, XeonMachine};

@@ -6,6 +6,10 @@
 //! amplifies it. A deployment-relevant defence knob the paper's
 //! cloud-environment results implicitly fix.
 
+// Tool code: aborting on a broken invariant is acceptable here (see audit policy);
+// panic-discipline applies to the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_bench::{all_pairs_at, print_table, random_bits, Options};
 use coremap_core::CoreMapper;
 use coremap_fleet::{CloudFleet, CpuModel};

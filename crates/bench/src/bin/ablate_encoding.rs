@@ -6,6 +6,10 @@
 //! encoding, showing why the unbalanced NRZ channel collapses under the
 //! slow thermal drift while Manchester does not.
 
+// Tool code: aborting on a broken invariant is acceptable here (see audit policy);
+// panic-discipline applies to the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_bench::{pick_pair_at, print_table, random_bits, thermal_sim, Options};
 use coremap_core::CoreMapper;
 use coremap_fleet::{CloudFleet, CpuModel};

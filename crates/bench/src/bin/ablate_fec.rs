@@ -6,6 +6,10 @@
 //! channel, each with repetition and Hamming(7,4) codes, reporting post-FEC
 //! error rate and goodput.
 
+// Tool code: aborting on a broken invariant is acceptable here (see audit policy);
+// panic-discipline applies to the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_bench::{all_pairs_at, print_table, random_bits, thermal_sim, Options};
 use coremap_core::CoreMapper;
 use coremap_fleet::{CloudFleet, CpuModel};

@@ -5,6 +5,10 @@
 //! strides and reports how reconstruction quality degrades, using the
 //! pairwise relative-placement accuracy metric.
 
+// Tool code: aborting on a broken invariant is acceptable here (see audit policy);
+// panic-discipline applies to the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_bench::{print_table, Options};
 use coremap_core::{verify, CoreMapper, MapperConfig};
 use coremap_fleet::{CloudFleet, CpuModel};

@@ -17,6 +17,10 @@
 //! * **IV**: invalidations only flow on shared-line upgrades; there is no
 //!   controllable directed pattern, so no campaign exists.
 
+// Tool code: aborting on a broken invariant is acceptable here (see audit policy);
+// panic-discipline applies to the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Instant;
 
 use coremap_bench::{print_table, Options};

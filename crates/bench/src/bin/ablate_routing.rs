@@ -8,6 +8,10 @@
 //! ILP or ambiguity error) or produce a measurably wrong map — never a
 //! silently plausible one.
 
+// Tool code: aborting on a broken invariant is acceptable here (see audit policy);
+// panic-discipline applies to the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_bench::{print_table, Options};
 use coremap_core::{verify, CoreMapper};
 use coremap_fleet::{CloudFleet, CpuModel};

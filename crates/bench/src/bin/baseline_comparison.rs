@@ -8,6 +8,10 @@
 //! fleet, predict the other half, and run the latency mapper on fresh
 //! instances — against the autonomous pipeline's accuracy.
 
+// Tool code: aborting on a broken invariant is acceptable here (see audit policy);
+// panic-discipline applies to the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_bench::{map_fleet, print_table, Options};
 use coremap_core::verify;
 use coremap_fleet::baseline::{prediction_accuracy, LatencyMapper, PatternDictionary};

@@ -4,6 +4,10 @@
 //! IMC tiles) and the Ice Lake template, with the per-tile channel legend
 //! of the paper's figure.
 
+// Tool code: aborting on a broken invariant is acceptable here (see audit policy);
+// panic-discipline applies to the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_bench::Options;
 use coremap_fleet::render::render_floorplan;
 use coremap_mesh::{DieTemplate, FloorplanBuilder};

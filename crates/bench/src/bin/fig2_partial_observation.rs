@@ -7,6 +7,10 @@
 //! single path and must come from combining observations (the job of the
 //! ILP).
 
+// Tool code: aborting on a broken invariant is acceptable here (see audit policy);
+// panic-discipline applies to the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_bench::Options;
 use coremap_core::traffic::ObservationSet;
 use coremap_fleet::render::render_floorplan;

@@ -5,6 +5,10 @@
 //! NE/NW-guarded horizontal boxes (Eqs. 2–3) and the indicator machinery
 //! inspectable — the executable version of the paper's Fig. 3.
 
+// Tool code: aborting on a broken invariant is acceptable here (see audit policy);
+// panic-discipline applies to the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_bench::Options;
 use coremap_core::ilp_model::reconstruct;
 use coremap_core::traffic::ObservationSet;

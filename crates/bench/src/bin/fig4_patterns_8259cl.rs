@@ -6,6 +6,10 @@
 //! alongside the hidden ground-truth floorplan of a representative
 //! instance for comparison.
 
+// Tool code: aborting on a broken invariant is acceptable here (see audit policy);
+// panic-discipline applies to the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_bench::{map_fleet, Options};
 use coremap_fleet::render::render_floorplan;
 use coremap_fleet::stats::PatternStats;

@@ -6,6 +6,10 @@
 //! sensors. The 1-hop receiver decodes the payload; farther receivers see
 //! dampened, unstable fluctuations.
 
+// Tool code: aborting on a broken invariant is acceptable here (see audit policy);
+// panic-discipline applies to the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_bench::{thermal_sim, Options};
 use coremap_core::CoreMapper;
 use coremap_fleet::{CloudFleet, CpuModel};

@@ -7,6 +7,10 @@
 //! beats horizontal 1-hop (tile aspect ratio); >=2 hops is unusable; error
 //! rises with rate; ~1 bps on 1-hop is near error-free.
 
+// Tool code: aborting on a broken invariant is acceptable here (see audit policy);
+// panic-discipline applies to the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_bench::{all_pairs_at, print_table, random_bits, thermal_sim, Options};
 use coremap_core::CoreMapper;
 use coremap_fleet::{CloudFleet, CpuModel};

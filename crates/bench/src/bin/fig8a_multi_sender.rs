@@ -5,6 +5,10 @@
 //! waveform; the amplified thermal signal lowers the bit error rate at a
 //! given rate (the paper reports 2% at 4 bps with four senders).
 
+// Tool code: aborting on a broken invariant is acceptable here (see audit policy);
+// panic-discipline applies to the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_bench::{print_table, random_bits, surrounding_senders, thermal_sim, Options};
 use coremap_core::CoreMapper;
 use coremap_fleet::{CloudFleet, CpuModel};

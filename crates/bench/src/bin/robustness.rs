@@ -12,6 +12,10 @@
 //! `results/BENCH_robustness.json` (override with `--out`); the CI
 //! robustness smoke job archives it as an artifact.
 
+// Tool code: aborting on a broken invariant is acceptable here (see audit policy);
+// panic-discipline applies to the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_bench::print_table;
 use coremap_core::backend::{FaultPlan, FaultyBackend};
 use coremap_core::{verify, CoreMapper, MapFidelity, MapperConfig, RobustnessConfig};

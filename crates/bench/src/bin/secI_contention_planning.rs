@@ -9,6 +9,10 @@
 //! chosen on the die, compare the link overlap achieved by map-guided
 //! attacker placement against blind (consecutive-OS-ID) placement.
 
+// Tool code: aborting on a broken invariant is acceptable here (see audit policy);
+// panic-discipline applies to the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_bench::{print_table, Options};
 use coremap_core::CoreMapper;
 use coremap_fleet::{CloudFleet, CpuModel};

@@ -6,6 +6,10 @@
 //! its map-identified 1-hop neighbours (except cores without a vertical
 //! neighbour, which the paper notes as the expected exceptions).
 
+// Tool code: aborting on a broken invariant is acceptable here (see audit policy);
+// panic-discipline applies to the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_bench::{print_table, random_bits, thermal_sim, Options};
 use coremap_core::CoreMapper;
 use coremap_fleet::{CloudFleet, CpuModel};

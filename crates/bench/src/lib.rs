@@ -8,6 +8,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Tool code: aborting on a broken invariant is acceptable here (see audit policy);
+// panic-discipline applies to the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use std::sync::Arc;
 

@@ -1,6 +1,9 @@
 //! Integration tests for the CLI command layer (exercised through the
 //! binary, since the command functions live in the binary crate).
 
+// Test/bench harness: unwraps abort the harness, which is the desired failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::path::PathBuf;
 use std::process::Command;
 

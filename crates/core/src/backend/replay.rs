@@ -108,6 +108,7 @@ impl ReplayBackend {
     #[cold]
     fn diverge(&self, at: usize, requested: String) -> ! {
         obs::inc("core.replay.divergences");
+        // audit: allow(panic-safety): documented API — replay "panics loudly on divergence" by design; the FleetRunner catches it and reports JobFailure::Panic per instance
         panic!("{}", self.divergence_report(at, requested))
     }
 

@@ -102,6 +102,7 @@ impl MeasurementTrace {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn sample_trace() -> MeasurementTrace {

@@ -168,6 +168,7 @@ pub fn validate_stored_map<T: MachineBackend>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use coremap_mesh::{DieTemplate, FloorplanBuilder};
     use coremap_uncore::{MachineConfig, NoiseModel, XeonMachine};

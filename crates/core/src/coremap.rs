@@ -246,6 +246,7 @@ impl CoreMap {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use coremap_mesh::Direction;
 

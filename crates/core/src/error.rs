@@ -41,6 +41,9 @@ pub enum MapError {
         /// The doubly-claimed CHA.
         cha: usize,
     },
+    /// CHA mapping was handed an empty slice-eviction-set list: there is
+    /// no slice to attribute traffic to (a zero-CHA machine model).
+    NoSlices,
     /// The ILP reconstruction failed.
     Ilp(coremap_ilp::SolveError),
     /// Observations are mutually inconsistent (should not happen on a
@@ -81,6 +84,9 @@ impl fmt::Display for MapError {
                 "cpu{core} and cpu{prior_core} both claim CHA{cha} as their \
                  co-located slice"
             ),
+            MapError::NoSlices => {
+                f.write_str("no slice eviction sets to measure against (zero-CHA machine?)")
+            }
             MapError::Ilp(e) => write!(f, "ilp reconstruction failed: {e}"),
             MapError::InconsistentObservations => {
                 f.write_str("traffic observations are mutually inconsistent")

@@ -112,6 +112,7 @@ pub fn build_all_sets<T: MachineBackend, R: Rng>(
 /// # Errors
 ///
 /// As for [`build_all_sets`].
+#[allow(clippy::expect_used)]
 pub fn build_all_sets_with<T: MachineBackend, R: Rng>(
     machine: &mut T,
     rng: &mut R,
@@ -180,6 +181,7 @@ pub fn build_all_sets_with<T: MachineBackend, R: Rng>(
         return Err(MapError::EvictionSetBudget { need, incomplete });
     }
 
+    // audit: allow(panic-safety): infallible — the `remaining > 0` guard above already returned EvictionSetBudget if any slot stayed None
     Ok(done.into_iter().map(|s| s.expect("all complete")).collect())
 }
 
@@ -218,6 +220,7 @@ pub fn stream_reads<T: MachineBackend>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use coremap_mesh::{DieTemplate, FloorplanBuilder};
     use coremap_uncore::{MachineConfig, XeonMachine};

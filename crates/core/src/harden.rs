@@ -517,6 +517,7 @@ pub fn reconstruct_degrading(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::traffic::PathObservation;
     use coremap_mesh::{DieTemplate, FloorplanBuilder};

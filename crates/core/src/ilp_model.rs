@@ -22,7 +22,7 @@
 //! unknowable because horizontal channel labels are scrambled (Sec.
 //! II-C.4), so the map may be horizontally mirrored.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use coremap_ilp::{Cmp, LinExpr, Model, SolveStats, Var};
 use coremap_mesh::{GridDim, TileCoord};
@@ -143,8 +143,8 @@ pub fn reconstruct(obs: &ObservationSet, dim: GridDim) -> Result<Reconstruction,
     let col_class: Vec<usize> = (0..n).map(|i| col_uf.find(i)).collect();
 
     let mut model = Model::new();
-    let mut row_var: HashMap<usize, Var> = HashMap::new();
-    let mut col_var: HashMap<usize, Var> = HashMap::new();
+    let mut row_var: BTreeMap<usize, Var> = BTreeMap::new();
+    let mut col_var: BTreeMap<usize, Var> = BTreeMap::new();
     for i in 0..n {
         row_var.entry(row_class[i]).or_insert_with(|| {
             let v = model.int_var(&format!("R{}", row_class[i]), 0, dim.rows as i64 - 1);
@@ -210,7 +210,7 @@ pub fn reconstruct(obs: &ObservationSet, dim: GridDim) -> Result<Reconstruction,
     // The nullifier constant must dominate `span + (cols - 1)` so a voided
     // block is satisfied by every in-grid assignment.
     let big = 2.0 * dim.cols as f64;
-    let mut pair_mids: HashMap<(usize, usize), BTreeSet<usize>> = HashMap::new();
+    let mut pair_mids: BTreeMap<(usize, usize), BTreeSet<usize>> = BTreeMap::new();
     for p in &obs.paths {
         if p.horizontal.is_empty() {
             continue;
@@ -229,10 +229,10 @@ pub fn reconstruct(obs: &ObservationSet, dim: GridDim) -> Result<Reconstruction,
                 .map(|&k| col_class[k.index()]),
         );
     }
-    let mut pairs: Vec<((usize, usize), BTreeSet<usize>)> = pair_mids.into_iter().collect();
-    pairs.sort();
+    // BTreeMap iteration is already in sorted class-pair order, so the
+    // constraint blocks are emitted deterministically.
     let mut anchored = false;
-    for ((a, b), mids) in pairs {
+    for ((a, b), mids) in pair_mids {
         // NE = 1 voids the "a west of b" block, NW = 1 voids the mirrored
         // one; exactly one direction is enforced (paper Sec. II-C.4).
         let ne = model.bin_var("NE");
@@ -278,7 +278,7 @@ pub fn reconstruct(obs: &ObservationSet, dim: GridDim) -> Result<Reconstruction,
     // row and a column class would collapse; pairs sharing a column class
     // but having no ordering constraint (two LLC-only tiles, which cannot
     // sink traffic) get an explicit disequality on rows.
-    let mut ordered: HashSet<(usize, usize)> = HashSet::new();
+    let mut ordered: BTreeSet<(usize, usize)> = BTreeSet::new();
     for &(a, b) in ge1.iter() {
         ordered.insert((a, b));
         ordered.insert((b, a));
@@ -458,6 +458,7 @@ pub fn reconstruct_full(obs: &ObservationSet, dim: GridDim) -> Result<Reconstruc
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::verify;
     use coremap_mesh::{DieTemplate, Floorplan, FloorplanBuilder, TileCoord as TC};

@@ -2,6 +2,7 @@
 
 use coremap_mesh::Ppin;
 use coremap_obs as obs;
+// audit: allow(backend-discipline): the PPIN identity read is the one raw MSR the pipeline issues itself — it doubles as the privilege probe and keys results to the physical chip
 use coremap_uncore::msr::MSR_PPIN;
 use coremap_uncore::RingClass;
 use rand::SeedableRng;
@@ -149,6 +150,7 @@ impl CoreMapper {
         // and keys the result to the physical chip. A transient fault here
         // must not kill the whole run, so it retries like any other MSR
         // access; a *persistent* denial still surfaces as the same error.
+        // audit: allow(backend-discipline): deliberate raw read — see the import note; all PMON traffic goes through `monitor`
         let ppin = Ppin::new(hard.msr(|| machine.read_msr(MSR_PPIN))?);
 
         // Step 1a: slice eviction sets via LLC-lookup probing.
@@ -221,6 +223,7 @@ impl CoreMapper {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::verify;
     use coremap_mesh::{DieTemplate, FloorplanBuilder, TileCoord};

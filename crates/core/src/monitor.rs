@@ -134,6 +134,7 @@ pub fn read_ring_with<T: MachineBackend>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use coremap_mesh::{DieTemplate, FloorplanBuilder, OsCoreId};
     use coremap_uncore::{MachineConfig, PhysAddr, XeonMachine};

@@ -14,6 +14,7 @@ pub use crate::backend::MachineBackend as MapTarget;
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::MapTarget;
     use coremap_mesh::{DieTemplate, FloorplanBuilder};
     use coremap_uncore::{MachineConfig, XeonMachine};

@@ -410,6 +410,7 @@ pub fn observe_all_ad_with<T: MachineBackend>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use coremap_mesh::{DieTemplate, Floorplan, FloorplanBuilder, TileCoord};
     use coremap_uncore::{MachineConfig, PhysAddr, XeonMachine};

@@ -211,6 +211,7 @@ pub fn neighbor_errors(map: &CoreMap, plan: &Floorplan, cha: ChaId) -> usize {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use coremap_mesh::{DieTemplate, FloorplanBuilder};
 

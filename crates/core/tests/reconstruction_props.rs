@@ -5,6 +5,9 @@
 //! genuinely ambiguous, so they are checked for observation consistency
 //! (every measured ingress event reproduced by the recovered placement).
 
+// Test/bench harness: unwraps abort the harness, which is the desired failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_core::ilp_model::reconstruct;
 use coremap_core::traffic::ObservationSet;
 use coremap_core::verify;

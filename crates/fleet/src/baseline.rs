@@ -13,7 +13,7 @@
 //!   memory controllers": two anchor distances leave a large iso-distance
 //!   ambiguity, which the reproduction measures as pairwise accuracy.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use coremap_core::CoreMap;
 use coremap_mesh::{OsCoreId, TileCoord};
@@ -25,7 +25,7 @@ use coremap_uncore::XeonMachine;
 #[derive(Debug, Clone, Default)]
 pub struct PatternDictionary {
     /// ID-mapping key -> (map, observation count), majority-kept.
-    entries: HashMap<Vec<u16>, Vec<(CoreMap, usize)>>,
+    entries: BTreeMap<Vec<u16>, Vec<(CoreMap, usize)>>,
 }
 
 impl PatternDictionary {
@@ -172,6 +172,7 @@ pub fn prediction_accuracy(predicted: &CoreMap, truth_map: &CoreMap) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use coremap_mesh::{ChaId, GridDim};
 

@@ -72,9 +72,11 @@ impl CloudFleet {
     }
 
     /// Iterates over the whole population of a model.
+    #[allow(clippy::expect_used)]
     pub fn instances(&self, model: CpuModel) -> impl Iterator<Item = CloudInstance> + '_ {
         (0..self.population(model)).map(move |i| {
             self.instance(model, i)
+                // audit: allow(panic-safety): infallible — every i below population(model) is a valid instance index by definition
                 .expect("index below population is valid")
         })
     }
@@ -174,6 +176,7 @@ impl CloudInstance {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

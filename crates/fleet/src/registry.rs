@@ -79,6 +79,7 @@ impl MapRegistry {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use coremap_mesh::{ChaId, GridDim, TileCoord};
 

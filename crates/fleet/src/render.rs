@@ -48,6 +48,7 @@ pub fn render_floorplan(plan: &Floorplan) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use coremap_mesh::{DieTemplate, FloorplanBuilder};
 

@@ -142,7 +142,10 @@ impl FleetRunner {
         E: Send,
         F: Fn(&CloudInstance) -> Result<T, E> + Sync,
     {
-        let instrumented = obs::current().is_some();
+        // Hold the caller's registry for the whole campaign: the merge at
+        // the end must not depend on the thread-local still being set.
+        let registry = obs::current();
+        let instrumented = registry.is_some();
         let queue: Mutex<Vec<usize>> = Mutex::new((0..count).rev().collect());
         let results: ResultSlots<T, E> = Mutex::new((0..count).map(|_| None).collect());
         let registries: RegistrySlots = Mutex::new((0..count).map(|_| None).collect());
@@ -154,6 +157,8 @@ impl FleetRunner {
                         Some(i) => i,
                         None => break,
                     };
+                    #[allow(clippy::expect_used)]
+                    // audit: allow(panic-safety): documented "# Panics" contract — count above the population is a caller bug, checked before any work ran
                     let instance = fleet.instance(model, idx).expect("index below population");
                     let sub = instrumented.then(|| Arc::new(obs::Registry::new()));
                     let start = std::time::Instant::now();
@@ -178,13 +183,15 @@ impl FleetRunner {
                 });
             }
         });
+        #[allow(clippy::expect_used)]
         let results: Vec<_> = results
             .into_inner()
             .unwrap_or_else(PoisonError::into_inner)
             .into_iter()
+            // audit: allow(panic-safety): infallible by construction — the queue held exactly the indices 0..count and scope() joined every worker, so each slot was written
             .map(|r| r.expect("every index processed"))
             .collect();
-        if instrumented {
+        if let Some(reg) = &registry {
             // Instance-order merge: counter and histogram merges commute,
             // but gauge collisions resolve last-wins, so a fixed order keeps
             // the snapshot independent of worker scheduling.
@@ -192,7 +199,7 @@ impl FleetRunner {
                 .into_inner()
                 .unwrap_or_else(PoisonError::into_inner);
             for sub in subs.into_iter().flatten() {
-                obs::current().expect("still installed").merge(&sub);
+                reg.merge(&sub);
             }
             let (mut ok, mut errs, mut panics) = (0u64, 0u64, 0u64);
             for (_, r) in &results {
@@ -366,6 +373,7 @@ impl SurveyStats {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

@@ -73,6 +73,7 @@ pub fn llc_case_8259cl(pattern: usize) -> (u16, u16) {
         50 => (16, 2),
         51 => (24, 3),
         52 => (16, 3),
+        // audit: allow(panic-safety): documented contract — Table I covers exactly 53 patterns; an out-of-range index is a caller bug, not a runtime condition
         _ => panic!("8259CL has 53 patterns, got index {pattern}"),
     }
 }
@@ -118,9 +119,11 @@ fn seeded_rng(fleet_seed: u64, model: CpuModel, pattern: u64, salt: u64) -> ChaC
 /// Pattern 0 of each model disables a canonical contiguous run (binning
 /// prefers a standard fuse map); higher patterns draw random sets, which
 /// yields the long tail of rare layouts the paper observed.
+#[allow(clippy::expect_used)]
 pub fn disabled_set(model: CpuModel, pattern: usize, fleet_seed: u64) -> Vec<TileCoord> {
     all_disabled_sets(model, pattern + 1, fleet_seed)
         .pop()
+        // audit: allow(panic-safety): infallible — all_disabled_sets(model, n, seed) always returns exactly n sets, so pop() on n = pattern + 1 cannot be empty
         .expect("requested pattern generated")
 }
 
@@ -201,7 +204,7 @@ mod tests {
     #[test]
     fn llc_case_population_matches_table1() {
         let counts = pattern_counts(CpuModel::Platinum8259CL);
-        let mut by_case: std::collections::HashMap<(u16, u16), usize> = Default::default();
+        let mut by_case: std::collections::BTreeMap<(u16, u16), usize> = Default::default();
         for (pattern, &count) in counts.iter().enumerate() {
             *by_case.entry(llc_case_8259cl(pattern)).or_default() += count;
         }
@@ -219,7 +222,7 @@ mod tests {
             CpuModel::Gold6354,
         ] {
             let n = pattern_counts(m).len();
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             for p in 0..n {
                 let set = disabled_set(m, p, 42);
                 assert_eq!(set.len(), m.disabled_count(), "{m} pattern {p}");

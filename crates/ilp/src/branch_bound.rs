@@ -235,6 +235,7 @@ fn finish(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use crate::{Cmp, Model, SolveError, Status};
 
     #[test]

@@ -12,7 +12,7 @@
 
 #![allow(clippy::needless_range_loop)] // parallel-array index loops
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use coremap_obs as obs;
 
@@ -114,9 +114,9 @@ pub fn merge_equalities(model: &Model) -> Result<Presolved, SolveError> {
     // Gather classes and merged domains.
     let mut class_of = vec![usize::MAX; n];
     let mut reduced = Model::new();
-    let mut rep_var: HashMap<usize, Var> = HashMap::new();
+    let mut rep_var: BTreeMap<usize, Var> = BTreeMap::new();
     // First compute merged bounds/kinds per root.
-    let mut merged: HashMap<usize, (f64, f64, VarKind, String)> = HashMap::new();
+    let mut merged: BTreeMap<usize, (f64, f64, VarKind, String)> = BTreeMap::new();
     for j in 0..n {
         let root = uf.find(j);
         let d = &model.vars[j];
@@ -127,11 +127,8 @@ pub fn merge_equalities(model: &Model) -> Result<Presolved, SolveError> {
         e.1 = e.1.min(d.ub);
         e.2 = stronger(e.2, d.kind);
     }
-    // Deterministic order: by root index.
-    let mut roots: Vec<usize> = merged.keys().copied().collect();
-    roots.sort_unstable();
-    for root in roots {
-        let (lb, ub, kind, name) = merged.remove(&root).expect("root present");
+    // BTreeMap iterates in ascending root order: deterministic as-is.
+    for (root, (lb, ub, kind, name)) in merged {
         if lb > ub + 1e-9 {
             return Err(SolveError::Infeasible);
         }
@@ -158,18 +155,18 @@ pub fn merge_equalities(model: &Model) -> Result<Presolved, SolveError> {
 
     // Rewrite constraints.
     type ConstraintKey = (Vec<(usize, u64)>, u8, u64);
-    let mut seen: HashMap<ConstraintKey, ()> = HashMap::new();
+    let mut seen: BTreeSet<ConstraintKey> = BTreeSet::new();
     for (ci, c) in model.constraints.iter().enumerate() {
         if is_merge[ci] {
             continue;
         }
-        let mut acc: HashMap<usize, f64> = HashMap::new();
+        let mut acc: BTreeMap<usize, f64> = BTreeMap::new();
         for &(v, a) in &c.terms {
             *acc.entry(rep_var[&class_of[v.index()]].index())
                 .or_insert(0.0) += a;
         }
-        let mut terms: Vec<(usize, f64)> = acc.into_iter().filter(|&(_, a)| a != 0.0).collect();
-        terms.sort_by_key(|&(j, _)| j);
+        // BTreeMap drains in ascending variable order: already canonical.
+        let terms: Vec<(usize, f64)> = acc.into_iter().filter(|&(_, a)| a != 0.0).collect();
         if terms.is_empty() {
             let ok = match c.cmp {
                 Cmp::Le => 0.0 <= c.rhs + 1e-9,
@@ -193,7 +190,7 @@ pub fn merge_equalities(model: &Model) -> Result<Presolved, SolveError> {
             },
             c.rhs.to_bits(),
         );
-        if seen.insert(key, ()).is_some() {
+        if !seen.insert(key) {
             continue;
         }
         let mut expr = crate::LinExpr::new();
@@ -204,16 +201,14 @@ pub fn merge_equalities(model: &Model) -> Result<Presolved, SolveError> {
     }
 
     // Rewrite the objective.
-    let mut obj_acc: HashMap<usize, f64> = HashMap::new();
+    let mut obj_acc: BTreeMap<usize, f64> = BTreeMap::new();
     for &(v, a) in &model.objective {
         *obj_acc
             .entry(rep_var[&class_of[v.index()]].index())
             .or_insert(0.0) += a;
     }
     let mut obj = crate::LinExpr::new();
-    let mut obj_terms: Vec<_> = obj_acc.into_iter().collect();
-    obj_terms.sort_by_key(|&(j, _)| j);
-    for (j, a) in obj_terms {
+    for (j, a) in obj_acc {
         if a != 0.0 {
             obj.add_term(a, Var(j));
         }
@@ -341,6 +336,7 @@ pub fn tightened_bounds(model: &Model) -> Result<Vec<(f64, f64)>, SolveError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::{Cmp, Model};
 

@@ -132,15 +132,11 @@ impl CoreNumbering {
         match self {
             CoreNumbering::Ascending => core_chas.sort(),
             CoreNumbering::Stride4Class => {
-                const CLASS_ORDER: [usize; 4] = [0, 2, 1, 3];
-                core_chas.sort_by_key(|cha| {
-                    let class = cha.index() % 4;
-                    let rank = CLASS_ORDER
-                        .iter()
-                        .position(|&c| c == class)
-                        .expect("class in 0..4");
-                    (rank, cha.index())
-                });
+                // Rank of each `id % 4` class in the OS enumeration. The
+                // order [0, 2, 1, 3] is a self-inverse permutation, so the
+                // table doubles as its own rank lookup.
+                const CLASS_RANK: [usize; 4] = [0, 2, 1, 3];
+                core_chas.sort_by_key(|cha| (CLASS_RANK[cha.index() % 4], cha.index()));
             }
         }
         core_chas
@@ -277,10 +273,12 @@ impl FloorplanBuilder {
             });
             core_coords.push(coord);
         }
+        #[allow(clippy::expect_used)]
         for &coord in &self.llc_only {
             let cha_idx = cha_coords
                 .iter()
                 .position(|&c| c == coord)
+                // audit: allow(panic-safety): infallible — the builder validated above that every llc_only coord names an enabled CHA tile, so cha_coords contains it
                 .expect("llc-only tile is enabled");
             tiles[dim.linear_index(coord)] = Tile::new(TileKind::LlcOnly {
                 cha: ChaId::new(cha_idx as u16),
@@ -383,9 +381,11 @@ impl Floorplan {
 
     /// Ground-truth OS-core -> CHA mapping (the hidden mapping recovered by
     /// step 1 of the methodology). Indexed by OS core ID.
+    #[allow(clippy::expect_used)]
     pub fn core_to_cha(&self) -> Vec<ChaId> {
         self.core_coords
             .iter()
+            // audit: allow(panic-safety): infallible — core_coords only holds coords the builder tiled as TileKind::Core, which always carries a cha
             .map(|&coord| self.tile(coord).kind().cha().expect("core tile has cha"))
             .collect()
     }
@@ -395,10 +395,12 @@ impl Floorplan {
     /// # Panics
     ///
     /// Panics if `core` is not an enabled core of this floorplan.
+    #[allow(clippy::expect_used)]
     pub fn cha_of_core(&self, core: OsCoreId) -> ChaId {
         self.tile(self.coord_of_core(core))
             .kind()
             .cha()
+            // audit: allow(panic-safety): infallible — coord_of_core returns a builder-tiled Core coord (its own "# Panics" contract rejects bad core IDs first)
             .expect("core tile has cha")
     }
 
@@ -416,6 +418,7 @@ impl Floorplan {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

@@ -264,6 +264,7 @@ pub fn shared_links(a: &Route, b: &Route) -> usize {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     const DIM: GridDim = GridDim { rows: 5, cols: 6 };
@@ -503,6 +504,7 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use proptest::prelude::*;
 

@@ -1,5 +1,8 @@
 //! Property tests of floorplan construction invariants.
 
+// Test/bench harness: unwraps abort the harness, which is the desired failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_mesh::{ChaId, DieTemplate, FloorplanBuilder, TileCoord, TileKind};
 use proptest::prelude::*;
 

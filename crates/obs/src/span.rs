@@ -24,6 +24,7 @@ impl SpanGuard {
     pub(crate) fn start(name: &str) -> Self {
         Self {
             name: name.to_owned(),
+            // audit: allow(determinism): wall-clock spans feed only volatile metrics (`<name>.us`), which the deterministic export excludes by design
             start: Instant::now(),
         }
     }
@@ -46,6 +47,7 @@ impl Drop for SpanGuard {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use crate::Registry;
     use std::sync::Arc;
 

@@ -55,8 +55,10 @@ impl ChannelConfig {
     /// returning the transfer report. The simulation is advanced in place
     /// (a long settling window is inserted first so back-to-back transfers
     /// do not leak heat into each other).
+    #[allow(clippy::expect_used)]
     pub fn transfer(&self, sim: &mut ThermalSim, payload: &[bool]) -> TransferReport {
         let reports = run_multi_channel(sim, std::slice::from_ref(self), &[payload.to_vec()]);
+        // audit: allow(panic-safety): infallible — run_multi_channel returns one report per input channel and exactly one channel was passed
         reports.channels.into_iter().next().expect("one channel")
     }
 }
@@ -188,7 +190,8 @@ pub fn run_multi_channel(
     let dt = sim.dt();
     let half_period = 1.0 / (2.0 * rate);
     let sample_period = sim.sensor().sample_period();
-    let n_halfbits = waveforms.iter().map(Vec::len).max().expect("non-empty");
+    // Zero channels transmit for zero half-bit slots (settle windows only).
+    let n_halfbits = waveforms.iter().map(Vec::len).max().unwrap_or(0);
     let total_time = n_halfbits as f64 * half_period + 2.0 / rate;
     let total_steps = (total_time / dt).ceil() as usize;
 
@@ -250,6 +253,7 @@ pub fn run_multi_channel(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::power::ThermalNoise;
     use crate::ThermalParams;

@@ -155,6 +155,7 @@ pub fn ber(sent: &[bool], received: &[bool]) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::encoding::frame;
 

@@ -151,6 +151,7 @@ impl ThermalSim {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use coremap_mesh::{DieTemplate, FloorplanBuilder};
 

@@ -1,5 +1,8 @@
 //! Property tests of the Manchester codec and synchronizing decoder.
 
+// Test/bench harness: unwraps abort the harness, which is the desired failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_thermal::decode::{ber, synchronize_and_decode};
 use coremap_thermal::encoding::{bits_to_bytes, bytes_to_bits, frame, manchester};
 use coremap_thermal::power::ActivityLevel;

@@ -150,6 +150,7 @@ impl MachineBackend for XeonMachine {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::MachineConfig;
     use coremap_mesh::{DieTemplate, FloorplanBuilder};

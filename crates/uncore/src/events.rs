@@ -141,6 +141,7 @@ fn vert_umask(d: Direction) -> u64 {
     match d {
         Direction::Up => UMASK_FIRST,
         Direction::Down => UMASK_SECOND,
+        // audit: allow(panic-safety): contract — `for_class` only pairs vertical events with Up/Down; a sideways direction here is a constructor bug
         other => panic!("vertical ring event with direction {other}"),
     }
 }
@@ -149,6 +150,7 @@ fn horz_umask(d: Direction) -> u64 {
     match d {
         Direction::Left => UMASK_FIRST,
         Direction::Right => UMASK_SECOND,
+        // audit: allow(panic-safety): contract — `for_class` only pairs horizontal events with Left/Right; a vertical direction here is a constructor bug
         other => panic!("horizontal ring event with direction {other}"),
     }
 }

@@ -433,12 +433,14 @@ impl XeonMachine {
     /// # Panics
     ///
     /// Panics if `core` is not an enabled core.
+    #[allow(clippy::expect_used)]
     pub fn l2_probe(&self, core: OsCoreId, pa: PhysAddr) -> Option<bool> {
         let line = pa.line();
         let l2 = &self.l2[core.index()];
         l2.contains(line).then(|| {
             // Peek the dirty bit without disturbing LRU state.
             let mut probe = l2.clone();
+            // audit: allow(panic-safety): infallible — the `contains` check guards the closure, and `touch` succeeds for any held line
             probe.touch(line).expect("contains implies touch")
         })
     }
@@ -535,6 +537,7 @@ fn sorted_pair(a: u16, b: u16) -> Vec<u16> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::msr::{counter, counter_ctl, unit_ctl, UNIT_CTL_FREEZE, UNIT_CTL_RESET};
     use coremap_mesh::{DieTemplate, Direction, FloorplanBuilder};

@@ -1,6 +1,9 @@
 //! Property tests: the MESI-like coherence layer keeps its invariants under
 //! arbitrary interleavings of loads and stores from all cores.
 
+// Test/bench harness: unwraps abort the harness, which is the desired failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_mesh::{DieTemplate, FloorplanBuilder, OsCoreId};
 use coremap_uncore::cache::LineState;
 use coremap_uncore::{MachineConfig, PhysAddr, XeonMachine};

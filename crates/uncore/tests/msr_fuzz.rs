@@ -2,6 +2,9 @@
 //! across CHA banks, whatever addresses a (buggy or malicious) tool throws
 //! at it.
 
+// Test/bench harness: unwraps abort the harness, which is the desired failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coremap_mesh::{DieTemplate, FloorplanBuilder};
 use coremap_uncore::msr;
 use coremap_uncore::{MachineConfig, MsrError, XeonMachine};

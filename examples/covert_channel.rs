@@ -6,6 +6,9 @@
 //! cargo run --release --example covert_channel
 //! ```
 
+// Test/bench harness: unwraps abort the harness, which is the desired failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use core_map::core::CoreMapper;
 use core_map::fleet::{CloudFleet, CpuModel};
 use core_map::mesh::OsCoreId;

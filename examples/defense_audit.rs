@@ -8,6 +8,9 @@
 //! cargo run --release --example defense_audit
 //! ```
 
+// Test/bench harness: unwraps abort the harness, which is the desired failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use core_map::core::CoreMapper;
 use core_map::fleet::{CloudFleet, CpuModel};
 use core_map::mesh::Direction;

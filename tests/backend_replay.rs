@@ -7,6 +7,9 @@
 //! SkylakeXcc mapping campaign, replayed with zero simulation behind it,
 //! reproduces the recovered `CoreMap` bit for bit.
 
+// Test/bench harness: unwraps abort the harness, which is the desired failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use core_map::core::backend::{
     FaultPlan, FaultyBackend, MachineBackend, MeasurementTrace, RecordingBackend, ReplayBackend,
     TraceOp,

@@ -13,6 +13,9 @@
 //! 4. on a clean machine the default policy costs exactly zero extra
 //!    machine operations.
 
+// Test/bench harness: unwraps abort the harness, which is the desired failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use core_map::core::backend::{FaultPlan, FaultyBackend, RecordingBackend};
 use core_map::core::{verify, CoreMapper, MapError, MapperConfig, RobustnessConfig};
 use core_map::mesh::{DieTemplate, Floorplan, FloorplanBuilder};

@@ -6,6 +6,9 @@
 //! in instance order whatever the worker count, and a failing instance is
 //! an `Err` entry instead of a campaign abort.
 
+// Test/bench harness: unwraps abort the harness, which is the desired failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use core_map::core::backend::MachineBackend;
 use core_map::core::CoreMapper;
 use core_map::fleet::{CloudFleet, CloudInstance, CpuModel, FleetRunner, JobFailure, SurveyStats};

@@ -1,6 +1,9 @@
 //! Integration: fleet populations reproduce the paper's Table I structure
 //! when measured through the pipeline.
 
+// Test/bench harness: unwraps abort the harness, which is the desired failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use core_map::core::cha_map;
 use core_map::core::eviction;
 use core_map::fleet::{CloudFleet, CpuModel};

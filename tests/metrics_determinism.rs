@@ -7,6 +7,9 @@
 //! trace replay. Wall-clock and scheduling artefacts are flagged volatile
 //! and must never leak into the deterministic export.
 
+// Test/bench harness: unwraps abort the harness, which is the desired failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 
 use core_map::core::backend::{FaultPlan, FaultyBackend, RecordingBackend, ReplayBackend};
@@ -123,6 +126,59 @@ fn replayed_campaign_reproduces_the_recorded_counters() {
         );
     }
     assert_eq!(replay_reg.counter_value("core.replay.divergences"), 0);
+}
+
+/// Solves a presolve-heavy reconstruction — the literal per-tile/per-path
+/// formulation on an irregular floorplan — and returns the deterministic
+/// snapshot. The full formulation funnels every observation through
+/// `merge_equalities`, so this exercises the presolve union-find, bound
+/// merging and constraint dedup far harder than the class-merged path.
+fn presolve_heavy_snapshot() -> String {
+    use core_map::core::ilp_model;
+    use core_map::mesh::TileCoord;
+
+    let reg = Arc::new(obs::Registry::new());
+    {
+        let _guard = obs::install(reg.clone());
+        // A dense 3x2 block of active tiles: small enough for the literal
+        // per-path formulation (exponential on full dies), dense enough
+        // that presolve merges a non-trivial equality web.
+        let template = DieTemplate::SkylakeXcc;
+        let keep: Vec<TileCoord> = (2..5)
+            .flat_map(|r| (0..2).map(move |c| TileCoord::new(r, c)))
+            .collect();
+        let disable = template
+            .core_capable_positions()
+            .into_iter()
+            .filter(|p| !keep.contains(p));
+        let plan = FloorplanBuilder::new(template)
+            .disable_all(disable)
+            .build()
+            .expect("floorplan");
+        let observations = core_map::core::ObservationSet::synthetic(&plan);
+        let rec = ilp_model::reconstruct_full(&observations, plan.dim()).expect("solve");
+        assert!(!rec.positions.is_empty());
+    }
+    reg.to_json(false)
+}
+
+#[test]
+fn presolve_heavy_model_exports_identical_snapshots() {
+    // Regression guard for the presolve/ilp-model BTree ordering work: a
+    // HashMap iteration anywhere in variable merging, constraint dedup or
+    // objective accumulation shows up here as a diff in pivot/tightening
+    // counters between two identical solves.
+    let first = presolve_heavy_snapshot();
+    let second = presolve_heavy_snapshot();
+    assert_eq!(
+        first, second,
+        "presolve-heavy solve must export byte-identical metrics"
+    );
+    assert!(
+        first.contains("ilp.presolve.tightenings"),
+        "presolve did not run:\n{first}"
+    );
+    assert!(first.contains("ilp.simplex.pivots"), "{first}");
 }
 
 /// Runs a hardened mapping campaign against a seeded fault injector under

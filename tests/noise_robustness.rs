@@ -1,6 +1,9 @@
 //! Integration: the measurement pipeline under background mesh noise
 //! (co-tenant traffic on a shared cloud host).
 
+// Test/bench harness: unwraps abort the harness, which is the desired failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use core_map::core::{verify, CoreMapper, MapperConfig};
 use core_map::mesh::{DieTemplate, FloorplanBuilder, TileCoord};
 use core_map::uncore::{MachineConfig, NoiseModel, XeonMachine};

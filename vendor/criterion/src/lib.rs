@@ -102,7 +102,10 @@ fn run_one<F: FnOnce(&mut Bencher)>(label: &str, throughput: Option<Throughput>,
         Some(elapsed) => {
             let rate = throughput.map(|t| match t {
                 Throughput::Elements(n) => {
-                    format!(" ({:.0} elem/s)", n as f64 / elapsed.as_secs_f64().max(1e-9))
+                    format!(
+                        " ({:.0} elem/s)",
+                        n as f64 / elapsed.as_secs_f64().max(1e-9)
+                    )
                 }
                 Throughput::Bytes(n) => {
                     format!(" ({:.0} B/s)", n as f64 / elapsed.as_secs_f64().max(1e-9))

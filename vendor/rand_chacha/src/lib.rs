@@ -117,7 +117,7 @@ mod tests {
     }
 
     #[test]
-    fn clone_preserves_stream_position(){
+    fn clone_preserves_stream_position() {
         let mut a = ChaCha8Rng::seed_from_u64(7);
         a.next_u64();
         let mut b = a.clone();

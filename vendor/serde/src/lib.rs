@@ -385,9 +385,7 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
         match value {
             Value::Map(entries) => entries
                 .iter()
-                .map(|(k, v)| {
-                    Ok((K::from_value(&Value::Str(k.clone()))?, V::from_value(v)?))
-                })
+                .map(|(k, v)| Ok((K::from_value(&Value::Str(k.clone()))?, V::from_value(v)?)))
                 .collect(),
             other => type_error("map", other),
         }

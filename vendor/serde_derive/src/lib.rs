@@ -40,14 +40,18 @@ struct Input {
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let input = parse_input(input);
-    gen_serialize(&input).parse().expect("generated impl parses")
+    gen_serialize(&input)
+        .parse()
+        .expect("generated impl parses")
 }
 
 /// Derives the vendored `serde::Deserialize` trait.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let input = parse_input(input);
-    gen_deserialize(&input).parse().expect("generated impl parses")
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated impl parses")
 }
 
 // ---------------------------------------------------------------------------
@@ -389,8 +393,7 @@ fn gen_deserialize(input: &Input) -> String {
             )
         }
         Shape::TupleStruct(1) => {
-            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__value)?))"
-                .to_owned()
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__value)?))".to_owned()
         }
         Shape::TupleStruct(n) => {
             let pats = (0..*n)
@@ -427,12 +430,7 @@ fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
     let unit_arms = variants
         .iter()
         .filter(|v| matches!(v.shape, VariantShape::Unit))
-        .map(|v| {
-            format!(
-                "\"{0}\" => ::std::result::Result::Ok(Self::{0}),",
-                v.name
-            )
-        })
+        .map(|v| format!("\"{0}\" => ::std::result::Result::Ok(Self::{0}),", v.name))
         .collect::<Vec<_>>()
         .join("\n");
     let data_arms = variants

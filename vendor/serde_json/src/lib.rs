@@ -225,7 +225,10 @@ impl<'a> Parser<'a> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
-            match self.peek().ok_or_else(|| self.error("unterminated string"))? {
+            match self
+                .peek()
+                .ok_or_else(|| self.error("unterminated string"))?
+            {
                 b'"' => {
                     self.pos += 1;
                     return Ok(out);
@@ -277,7 +280,8 @@ impl<'a> Parser<'a> {
         }
         let hex = std::str::from_utf8(&self.bytes[self.pos..end])
             .map_err(|_| self.error("invalid unicode escape"))?;
-        let code = u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid unicode escape"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid unicode escape"))?;
         self.pos = end;
         Ok(code)
     }
