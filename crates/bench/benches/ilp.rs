@@ -1,13 +1,14 @@
 //! Criterion benchmarks of the MILP solver and the reconstruction
-//! formulations, including the branching-rule ablation called out in
-//! DESIGN.md.
+//! formulations: the engine matrix (dense tableau vs revised simplex,
+//! cold vs warm-started, serial vs parallel branch & bound) plus the
+//! branching-rule ablation called out in DESIGN.md.
 
 // Test/bench harness: unwraps abort the harness, which is the desired failure mode.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use coremap_core::ilp_model::{reconstruct, reconstruct_full};
+use coremap_core::ilp_model::{reconstruct, reconstruct_full, reconstruct_full_with_bb};
 use coremap_core::traffic::ObservationSet;
-use coremap_ilp::{Branching, Cmp, Model};
+use coremap_ilp::{BbConfig, Branching, Cmp, LpEngine, Model};
 use coremap_mesh::{DieTemplate, Floorplan, FloorplanBuilder, TileCoord};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -49,6 +50,44 @@ fn reconstruction(c: &mut Criterion) {
     group.bench_function("paper_literal_dense_block", |b| {
         b.iter(|| black_box(reconstruct_full(&block_obs, block.dim()).expect("solves")))
     });
+    group.finish();
+}
+
+/// The LP-engine matrix on the reference reconstruction instance: the
+/// legacy dense tableau, the sparse revised simplex solved cold at every
+/// node, the warm-started dual simplex, and the warm engine with
+/// speculative parallel subtree search. All four return byte-identical
+/// placements; only the wall-clock differs.
+///
+/// Uses the paper-literal formulation over a stride-7 subsampled
+/// observation set — the same reference workload as the `ilp_perf` bench
+/// binary. The class-merged formulation plus the indicator presolve is
+/// root-integral on the full synthetic set, so it would measure a single
+/// LP solve instead of the branch & bound.
+fn engine_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp_engine");
+    group.sample_size(10);
+    let plan = full_die_plan();
+    let mut obs = ObservationSet::synthetic(&plan);
+    let paths = std::mem::take(&mut obs.paths);
+    obs.paths = paths.into_iter().step_by(7).collect();
+    let dim = plan.dim();
+    let configs = [
+        ("dense_cold", LpEngine::DenseTableau, 1),
+        ("revised_cold", LpEngine::RevisedCold, 1),
+        ("warm_serial", LpEngine::RevisedWarm, 1),
+        ("warm_parallel4", LpEngine::RevisedWarm, 4),
+    ];
+    for (name, engine, workers) in configs {
+        let cfg = BbConfig {
+            engine,
+            workers,
+            ..BbConfig::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(reconstruct_full_with_bb(&obs, dim, &cfg).expect("solves")))
+        });
+    }
     group.finish();
 }
 
@@ -94,5 +133,5 @@ fn branching_rules(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, reconstruction, branching_rules);
+criterion_group!(benches, reconstruction, engine_matrix, branching_rules);
 criterion_main!(benches);

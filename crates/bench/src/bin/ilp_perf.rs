@@ -1,0 +1,299 @@
+//! **ILP solver performance** — the revised-simplex/warm-start/parallel
+//! branch & bound against the legacy dense tableau.
+//!
+//! Solves the reference 28-core SkylakeXcc reconstruction instance
+//! end-to-end under four engine configurations — dense cold tableau (the
+//! pre-rewrite solver), sparse revised simplex solved cold at every node,
+//! warm-started dual simplex, and warm + speculative parallel subtree
+//! search — and reports per-configuration p50/p99 latency, node throughput
+//! and warm-start hit rate, plus the speedups over the dense baseline.
+//!
+//! The reference workload is the paper's *literal* per-tile/per-path
+//! formulation (Sec. II-C) over a stride-subsampled observation set: the
+//! class-merged formulation plus the indicator-aware presolve fix the
+//! placement almost entirely before the search starts (root-integral LP,
+//! one node — see `--merged`), so the literal formulation is where the
+//! branch & bound, warm starts and the sparse engine actually work.
+//!
+//! The run doubles as a regression gate: it asserts that all four
+//! configurations return the identical placement byte-for-byte and that
+//! the warm-started engine actually hits parent bases
+//! (`ilp.bb.warm_start_hits > 0`). The CI `BENCH_ilp` smoke job runs it
+//! with `--samples 3`.
+//!
+//! Writes a machine-readable report (`coremap-bench-ilp/v1`) to
+//! `results/BENCH_ilp.json` (override with `--out`).
+
+// Tool code: aborting on a broken invariant is acceptable here (see audit policy);
+// panic-discipline applies to the library crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use coremap_bench::print_table;
+use coremap_core::ilp_model::{reconstruct_full_with_bb, reconstruct_with_bb, Reconstruction};
+use coremap_core::traffic::ObservationSet;
+use coremap_ilp::{BbConfig, LpEngine};
+use coremap_mesh::{DieTemplate, FloorplanBuilder};
+use coremap_obs as obs;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Report {
+    schema: &'static str,
+    samples: usize,
+    instance: InstanceInfo,
+    configs: Vec<ConfigStats>,
+    /// p50 speedup of each non-dense configuration over `dense_cold`.
+    speedup_vs_dense: Vec<(String, f64)>,
+    /// All configurations returned bit-identical placements and objectives.
+    solutions_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct InstanceInfo {
+    template: String,
+    formulation: &'static str,
+    cores: usize,
+    chas: usize,
+    grid_rows: usize,
+    grid_cols: usize,
+    observation_stride: usize,
+    observations: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct ConfigStats {
+    name: String,
+    engine: String,
+    workers: usize,
+    p50_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    nodes: u64,
+    nodes_per_sec: f64,
+    warm_start_hits: u64,
+    warm_start_hit_rate: f64,
+    pivots: u64,
+    refactorizations: u64,
+}
+
+struct Args {
+    samples: usize,
+    stride: usize,
+    merged: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        samples: 10,
+        stride: 7,
+        merged: false,
+        out: "results/BENCH_ilp.json".to_owned(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires an argument"))
+        };
+        match flag.as_str() {
+            "--samples" => a.samples = value("--samples").parse().expect("--samples: number"),
+            "--stride" => a.stride = value("--stride").parse().expect("--stride: number"),
+            "--merged" => a.merged = true,
+            "--out" => a.out = value("--out"),
+            other => panic!(
+                "unknown argument {other}; supported: --samples N --stride N --merged --out FILE"
+            ),
+        }
+    }
+    assert!(a.samples >= 1, "--samples must be at least 1");
+    assert!(a.stride >= 1, "--stride must be at least 1");
+    a
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// Fingerprints a placement exactly (tile coordinates + objective bits).
+fn fingerprint(rec: &Reconstruction) -> (Vec<(usize, usize)>, u64) {
+    let coords = rec
+        .positions
+        .iter()
+        .map(|p| (p.row, p.col))
+        .collect::<Vec<_>>();
+    (coords, rec.objective.to_bits())
+}
+
+fn main() {
+    let args = parse_args();
+    println!("== ILP engine matrix on the reference 28-core instance ==\n");
+
+    let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+        .build()
+        .expect("template floorplan");
+    // The complete synthetic observation set over-constrains the ILP so
+    // hard its LP relaxation is integral at the root. The reference B&B
+    // workload keeps every `stride`-th path — the observation-budget
+    // regime of the paper's ablation — which leaves genuine ambiguity for
+    // the search to resolve.
+    let mut observations = ObservationSet::synthetic(&plan);
+    if args.stride > 1 {
+        let paths = std::mem::take(&mut observations.paths);
+        observations.paths = paths.into_iter().step_by(args.stride).collect();
+    }
+    let dim = plan.dim();
+    let solver = if args.merged {
+        reconstruct_with_bb
+    } else {
+        reconstruct_full_with_bb
+    };
+    let instance = InstanceInfo {
+        template: "SkylakeXcc".to_owned(),
+        formulation: if args.merged {
+            "class-merged"
+        } else {
+            "paper-literal"
+        },
+        cores: plan.core_count(),
+        chas: plan.cha_count(),
+        grid_rows: dim.rows,
+        grid_cols: dim.cols,
+        observation_stride: args.stride,
+        observations: observations.paths.len(),
+    };
+
+    let matrix = [
+        ("dense_cold", LpEngine::DenseTableau, 1usize),
+        ("revised_cold", LpEngine::RevisedCold, 1),
+        ("warm_serial", LpEngine::RevisedWarm, 1),
+        ("warm_parallel4", LpEngine::RevisedWarm, 4),
+    ];
+
+    let mut configs = Vec::new();
+    let mut reference: Option<(Vec<(usize, usize)>, u64)> = None;
+    let mut solutions_identical = true;
+    for (name, engine, workers) in matrix {
+        let cfg = BbConfig {
+            engine,
+            workers,
+            ..BbConfig::default()
+        };
+        // Warm-up solve, outside the timed window.
+        let rec = solver(&observations, dim, &cfg).expect("solves");
+        match &reference {
+            None => reference = Some(fingerprint(&rec)),
+            Some(r) => solutions_identical &= *r == fingerprint(&rec),
+        }
+
+        let reg = Arc::new(obs::Registry::new());
+        let mut latencies_us = Vec::with_capacity(args.samples);
+        let mut total_nodes = 0u64;
+        {
+            let _guard = obs::install(reg.clone());
+            for _ in 0..args.samples {
+                let start = Instant::now();
+                let rec = solver(&observations, dim, &cfg).expect("solves");
+                latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+                total_nodes += rec.stats.nodes as u64;
+            }
+        }
+        latencies_us.sort_by(|a, b| a.total_cmp(b));
+        let total_us: f64 = latencies_us.iter().sum();
+        let nodes = reg.counter_value("ilp.bb.nodes");
+        let hits = reg.counter_value("ilp.bb.warm_start_hits");
+        assert_eq!(
+            nodes, total_nodes,
+            "{name}: obs node counter must match SolveStats"
+        );
+        configs.push(ConfigStats {
+            name: name.to_owned(),
+            engine: format!("{engine:?}"),
+            workers,
+            p50_us: percentile(&latencies_us, 0.50),
+            p99_us: percentile(&latencies_us, 0.99),
+            mean_us: total_us / args.samples as f64,
+            nodes,
+            nodes_per_sec: nodes as f64 / (total_us / 1e6),
+            warm_start_hits: hits,
+            warm_start_hit_rate: if nodes > 0 {
+                hits as f64 / nodes as f64
+            } else {
+                0.0
+            },
+            pivots: reg.counter_value("ilp.simplex.pivots"),
+            refactorizations: reg.counter_value("ilp.simplex.refactorizations"),
+        });
+    }
+
+    let dense_p50 = configs[0].p50_us;
+    let speedup_vs_dense: Vec<(String, f64)> = configs[1..]
+        .iter()
+        .map(|c| (c.name.clone(), dense_p50 / c.p50_us))
+        .collect();
+
+    let rows: Vec<Vec<String>> = configs
+        .iter()
+        .map(|c| {
+            let speedup = speedup_vs_dense
+                .iter()
+                .find(|(n, _)| *n == c.name)
+                .map_or("1.00x".to_owned(), |(_, s)| format!("{s:.2}x"));
+            vec![
+                c.name.clone(),
+                format!("{:.0}", c.p50_us),
+                format!("{:.0}", c.p99_us),
+                format!("{}", c.nodes),
+                format!("{:.0}", c.nodes_per_sec),
+                format!("{:.2}", c.warm_start_hit_rate),
+                speedup,
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "config",
+            "p50 us",
+            "p99 us",
+            "nodes",
+            "nodes/s",
+            "warm hit rate",
+            "vs dense",
+        ],
+        &rows,
+    );
+
+    // Regression gates: the rewrite's contract is byte-identical solutions
+    // and a warm-start machinery that actually fires.
+    assert!(
+        solutions_identical,
+        "engine configurations returned different placements"
+    );
+    let warm = configs
+        .iter()
+        .find(|c| c.name == "warm_serial")
+        .expect("warm arm");
+    assert!(
+        warm.warm_start_hits > 0,
+        "warm-started engine never hit a parent basis"
+    );
+
+    let report = Report {
+        schema: "coremap-bench-ilp/v1",
+        samples: args.samples,
+        instance,
+        configs,
+        speedup_vs_dense,
+        solutions_identical,
+    };
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&args.out, json + "\n").expect("write report");
+    println!("\nreport written: {}", args.out);
+}

@@ -27,12 +27,15 @@ COMMAND OPTIONS:
               --metrics <FILE>      write pipeline metrics as JSON
               --harden              aggressive fault tolerance (MSR retry,
                                     median-of-3 counters, degradation)
+              --ilp-workers <N>     ILP branch-and-bound threads [default: 1]
     show:     --registry <FILE>     registry to read (required)
               --ppin <HEX>          render only this chip
     fleet:    --instances <N>       instances to survey [default: 10]
               --workers <N>         mapping worker threads [default: all cores]
               --metrics <FILE>      write campaign metrics as JSON
               --harden              aggressive fault tolerance per instance
+              --ilp-workers <N>     ILP threads per instance (idle mapping
+                                    workers are redistributed automatically)
     channel:  --message <TEXT>      payload              [default: hello]
               --rate <BPS>          bit rate             [default: 2]
               --senders <N>         sender count         [default: 1]
@@ -49,6 +52,7 @@ pub enum Command {
         registry: Option<String>,
         metrics: Option<String>,
         harden: bool,
+        ilp_workers: usize,
     },
     /// Render stored maps.
     Show { registry: String, ppin: Option<u64> },
@@ -60,6 +64,7 @@ pub enum Command {
         workers: Option<usize>,
         metrics: Option<String>,
         harden: bool,
+        ilp_workers: usize,
     },
     /// Thermal covert channel transfer.
     Channel {
@@ -122,6 +127,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut rate = 2.0f64;
     let mut senders = 1usize;
     let mut harden = false;
+    let mut ilp_workers = 1usize;
 
     let mut o = Opts { args, pos: 0 };
     while o.pos + 1 < args.len() {
@@ -166,6 +172,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             // Boolean flag: consumes no value.
             "--harden" => harden = true,
+            "--ilp-workers" => {
+                ilp_workers = o
+                    .value("--ilp-workers")?
+                    .parse()
+                    .map_err(|_| "--ilp-workers must be a number".to_string())?
+            }
             "--message" => message = o.value("--message")?,
             "--rate" => {
                 rate = o
@@ -191,6 +203,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             registry,
             metrics,
             harden,
+            ilp_workers,
         }),
         "show" => Ok(Command::Show {
             registry: registry.ok_or("show requires --registry <FILE>")?,
@@ -203,6 +216,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             workers,
             metrics,
             harden,
+            ilp_workers,
         }),
         "channel" => Ok(Command::Channel {
             model,
@@ -237,7 +251,8 @@ mod tests {
                 seed: 2022,
                 registry: None,
                 metrics: None,
-                harden: false
+                harden: false,
+                ilp_workers: 1
             }
         );
     }
@@ -331,13 +346,31 @@ mod tests {
                 seed: 2022,
                 workers: Some(3),
                 metrics: None,
-                harden: false
+                harden: false,
+                ilp_workers: 1
             }
         );
         assert!(matches!(
             parse(&argv("fleet")).unwrap(),
             Command::Fleet { workers: None, .. }
         ));
+    }
+
+    #[test]
+    fn ilp_workers_flag_parses_on_map_and_fleet() {
+        assert!(matches!(
+            parse(&argv("map --ilp-workers 4")).unwrap(),
+            Command::Map { ilp_workers: 4, .. }
+        ));
+        assert!(matches!(
+            parse(&argv("fleet --ilp-workers 2 --workers 3")).unwrap(),
+            Command::Fleet {
+                ilp_workers: 2,
+                workers: Some(3),
+                ..
+            }
+        ));
+        assert!(parse(&argv("map --ilp-workers nope")).is_err());
     }
 
     #[test]

@@ -31,7 +31,8 @@ pub fn run(cmd: Command) -> CliResult {
             registry,
             metrics,
             harden,
-        } => map(model, index, seed, registry, metrics, harden),
+            ilp_workers,
+        } => map(model, index, seed, registry, metrics, harden, ilp_workers),
         Command::Show { registry, ppin } => show(&registry, ppin),
         Command::Fleet {
             model,
@@ -40,7 +41,16 @@ pub fn run(cmd: Command) -> CliResult {
             workers,
             metrics,
             harden,
-        } => fleet_survey(model, instances, seed, workers, metrics, harden),
+            ilp_workers,
+        } => fleet_survey(
+            model,
+            instances,
+            seed,
+            workers,
+            metrics,
+            harden,
+            ilp_workers,
+        ),
         Command::Channel {
             model,
             index,
@@ -53,12 +63,15 @@ pub fn run(cmd: Command) -> CliResult {
     }
 }
 
-fn mapper_for(harden: bool) -> CoreMapper {
-    if harden {
+fn mapper_for(harden: bool, ilp_workers: usize) -> CoreMapper {
+    let base = if harden {
         CoreMapper::hardened()
     } else {
         CoreMapper::new()
-    }
+    };
+    let mut cfg = base.config().clone();
+    cfg.ilp_workers = ilp_workers.max(1);
+    CoreMapper::with_config(cfg)
 }
 
 fn map_instance(
@@ -66,6 +79,7 @@ fn map_instance(
     index: usize,
     seed: u64,
     harden: bool,
+    ilp_workers: usize,
 ) -> Result<(coremap_fleet::CloudInstance, coremap_core::CoreMap), Box<dyn Error>> {
     let fleet = CloudFleet::with_seed(seed);
     let instance = fleet.instance(model, index)?;
@@ -75,7 +89,7 @@ fn map_instance(
         instance.ppin()
     );
     let mut machine = instance.boot();
-    let map = mapper_for(harden)
+    let map = mapper_for(harden, ilp_workers)
         .map(&mut machine)?
         .with_template(model.template());
     Ok((instance, map))
@@ -106,9 +120,10 @@ fn map(
     registry: Option<String>,
     metrics: Option<String>,
     harden: bool,
+    ilp_workers: usize,
 ) -> CliResult {
     let scope = metrics_scope(&metrics);
-    let (_, map) = map_instance(model, index, seed, harden)?;
+    let (_, map) = map_instance(model, index, seed, harden, ilp_workers)?;
     println!("{}", map.render());
     if let Some(path) = registry {
         let mut reg = match File::open(&path) {
@@ -160,6 +175,7 @@ fn fleet_survey(
     workers: Option<usize>,
     metrics: Option<String>,
     harden: bool,
+    ilp_workers: usize,
 ) -> CliResult {
     let fleet = CloudFleet::with_seed(seed);
     let count = instances.min(model.paper_population());
@@ -173,7 +189,7 @@ fn fleet_survey(
         &fleet,
         model,
         count,
-        &mapper_for(harden),
+        &mapper_for(harden, ilp_workers),
         CloudInstance::boot,
     );
     if let (Some((reg, guard)), Some(path)) = (scope, &metrics) {
@@ -213,7 +229,7 @@ fn channel(
     if rate <= 0.0 {
         return Err("--rate must be positive".into());
     }
-    let (instance, map) = map_instance(model, index, seed, false)?;
+    let (instance, map) = map_instance(model, index, seed, false, 1)?;
 
     // Receiver with a vertical neighbour; extra senders by proximity.
     let (receiver, first_sender) = (0..map.core_count() as u16)
@@ -261,7 +277,7 @@ fn channel(
 }
 
 fn verify_cmd(model: CpuModel, index: usize, seed: u64) -> CliResult {
-    let (instance, map) = map_instance(model, index, seed, false)?;
+    let (instance, map) = map_instance(model, index, seed, false, 1)?;
     let truth = instance.floorplan();
     let positions: Vec<_> = truth.chas().map(|c| map.coord_of_cha(c)).collect();
     println!("{}", map.render());

@@ -465,6 +465,7 @@ pub fn reconstruct_degrading(
     dim: GridDim,
     full_formulation: bool,
     cfg: &RobustnessConfig,
+    solve_opts: ilp_model::SolveOptions,
 ) -> Result<(Reconstruction, MapQuality), MapError> {
     let total = obs_set.paths.len();
     let max_discard = (total as f64 * cfg.max_discard_fraction).floor() as usize;
@@ -473,9 +474,9 @@ pub fn reconstruct_degrading(
     let mut rounds = 0usize;
     loop {
         let solved = if full_formulation {
-            ilp_model::reconstruct_full(&kept, dim)
+            ilp_model::reconstruct_full_with(&kept, dim, solve_opts)
         } else {
-            ilp_model::reconstruct(&kept, dim)
+            ilp_model::reconstruct_with(&kept, dim, solve_opts)
         };
         match solved {
             Ok(rec) => {
@@ -608,7 +609,8 @@ mod tests {
             };
         }
         let cfg = RobustnessConfig::hardened();
-        let (rec, quality) = reconstruct_degrading(&obs_set, plan.dim(), false, &cfg).unwrap();
+        let (rec, quality) =
+            reconstruct_degrading(&obs_set, plan.dim(), false, &cfg, Default::default()).unwrap();
         assert_eq!(quality.fidelity, MapFidelity::Relative);
         assert!(quality.discarded_paths >= 1);
         assert!(verify::positions_match_relative(&rec.positions, &plan));
@@ -632,7 +634,10 @@ mod tests {
             };
         }
         let strict = RobustnessConfig::off();
-        assert!(reconstruct_degrading(&obs_set, plan.dim(), false, &strict).is_err());
+        assert!(
+            reconstruct_degrading(&obs_set, plan.dim(), false, &strict, Default::default())
+                .is_err()
+        );
     }
 
     #[test]
@@ -642,7 +647,8 @@ mod tests {
             .unwrap();
         let obs_set = ObservationSet::synthetic(&plan);
         let cfg = RobustnessConfig::default();
-        let (rec, quality) = reconstruct_degrading(&obs_set, plan.dim(), false, &cfg).unwrap();
+        let (rec, quality) =
+            reconstruct_degrading(&obs_set, plan.dim(), false, &cfg, Default::default()).unwrap();
         assert_eq!(quality.fidelity, MapFidelity::Exact);
         assert_eq!(quality.discarded_paths, 0);
         assert!(!quality.is_degraded());
@@ -663,7 +669,8 @@ mod tests {
         };
         let dim = GridDim { rows: 3, cols: 3 };
         let cfg = RobustnessConfig::default();
-        let (_, quality) = reconstruct_degrading(&obs_set, dim, false, &cfg).unwrap();
+        let (_, quality) =
+            reconstruct_degrading(&obs_set, dim, false, &cfg, Default::default()).unwrap();
         assert_eq!(quality.fidelity, MapFidelity::Partial);
         assert_eq!(quality.unconstrained_chas, vec![ChaId::new(2)]);
         assert_eq!(

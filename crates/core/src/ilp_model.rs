@@ -24,7 +24,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use coremap_ilp::{Cmp, LinExpr, Model, SolveStats, Var};
+use coremap_ilp::{BbConfig, Cmp, LinExpr, LpEngine, Model, SolveStats, Var};
 use coremap_mesh::{GridDim, TileCoord};
 
 use crate::traffic::{ObservationSet, VerticalDir};
@@ -39,6 +39,40 @@ pub struct Reconstruction {
     pub stats: SolveStats,
     /// Objective value of the tightest map.
     pub objective: f64,
+}
+
+/// Solver tuning forwarded from the mapper to the branch-and-bound search.
+/// Solutions are byte-identical at any `workers` value and whether or not
+/// warm starts are enabled, so these are pure performance knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveOptions {
+    /// Branch-and-bound worker threads (`<= 1` means serial).
+    pub workers: usize,
+    /// Dual-simplex warm starts across nodes (disable for ablations).
+    pub warm_start: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            warm_start: true,
+        }
+    }
+}
+
+impl SolveOptions {
+    fn bb_config(self) -> BbConfig {
+        BbConfig {
+            engine: if self.warm_start {
+                LpEngine::RevisedWarm
+            } else {
+                LpEngine::RevisedCold
+            },
+            workers: self.workers.max(1),
+            ..BbConfig::default()
+        }
+    }
 }
 
 pub(crate) struct UnionFind(Vec<usize>);
@@ -126,6 +160,36 @@ fn add_axis_indicators(model: &mut Model, vars: &[Var], extent: usize, obj: &mut
 /// [`MapError::Ilp`] if the ILP is infeasible (mutually inconsistent,
 /// typically extremely noisy, observations) or hits solver limits.
 pub fn reconstruct(obs: &ObservationSet, dim: GridDim) -> Result<Reconstruction, MapError> {
+    reconstruct_with(obs, dim, SolveOptions::default())
+}
+
+/// [`reconstruct`] with explicit solver tuning ([`SolveOptions`]). The
+/// returned placement is identical for every option combination; only the
+/// wall-clock cost differs.
+///
+/// # Errors
+///
+/// As for [`reconstruct`].
+pub fn reconstruct_with(
+    obs: &ObservationSet,
+    dim: GridDim,
+    opts: SolveOptions,
+) -> Result<Reconstruction, MapError> {
+    reconstruct_with_bb(obs, dim, &opts.bb_config())
+}
+
+/// [`reconstruct`] with a raw branch-and-bound configuration — the
+/// engine-ablation seam of the solver benchmarks (e.g. pitting the legacy
+/// dense tableau against the revised simplex on the same instance).
+///
+/// # Errors
+///
+/// As for [`reconstruct`].
+pub fn reconstruct_with_bb(
+    obs: &ObservationSet,
+    dim: GridDim,
+    cfg: &BbConfig,
+) -> Result<Reconstruction, MapError> {
     let n = obs.n_cha;
 
     // ---- Alignment classes (paper Sec. II-C.2, applied as a merge) -------
@@ -325,7 +389,7 @@ pub fn reconstruct(obs: &ObservationSet, dim: GridDim) -> Result<Reconstruction,
     add_axis_indicators(&mut model, &cv, dim.cols, &mut obj);
     model.minimize(obj);
 
-    let sol = model.solve()?;
+    let sol = model.solve_with_config(cfg)?;
 
     let positions = (0..n)
         .map(|i| {
@@ -350,6 +414,33 @@ pub fn reconstruct(obs: &ObservationSet, dim: GridDim) -> Result<Reconstruction,
 ///
 /// As for [`reconstruct`].
 pub fn reconstruct_full(obs: &ObservationSet, dim: GridDim) -> Result<Reconstruction, MapError> {
+    reconstruct_full_with(obs, dim, SolveOptions::default())
+}
+
+/// [`reconstruct_full`] with explicit solver tuning ([`SolveOptions`]).
+///
+/// # Errors
+///
+/// As for [`reconstruct`].
+pub fn reconstruct_full_with(
+    obs: &ObservationSet,
+    dim: GridDim,
+    opts: SolveOptions,
+) -> Result<Reconstruction, MapError> {
+    reconstruct_full_with_bb(obs, dim, &opts.bb_config())
+}
+
+/// [`reconstruct_full`] with a raw branch-and-bound configuration — the
+/// engine-ablation seam of the solver benchmarks.
+///
+/// # Errors
+///
+/// As for [`reconstruct`].
+pub fn reconstruct_full_with_bb(
+    obs: &ObservationSet,
+    dim: GridDim,
+    cfg: &BbConfig,
+) -> Result<Reconstruction, MapError> {
     let n = obs.n_cha;
     let mut model = Model::new();
     let r: Vec<Var> = (0..n)
@@ -439,7 +530,7 @@ pub fn reconstruct_full(obs: &ObservationSet, dim: GridDim) -> Result<Reconstruc
     add_axis_indicators(&mut pre.model, &rset, dim.rows, &mut obj);
     add_axis_indicators(&mut pre.model, &cset, dim.cols, &mut obj);
     pre.model.minimize(obj);
-    let sol = pre.model.solve()?;
+    let sol = pre.model.solve_with_config(cfg)?;
 
     let positions = (0..n)
         .map(|i| {

@@ -68,6 +68,7 @@ pub use backend::MachineBackend;
 pub use coremap::CoreMap;
 pub use error::MapError;
 pub use harden::{Harden, MapFidelity, MapQuality, RobustnessConfig};
+pub use ilp_model::SolveOptions;
 pub use mapper::{CoreMapper, MapDiagnostics, MapperConfig};
 pub use target::MapTarget;
 pub use traffic::{ObservationSet, PathObservation, VerticalDir};

@@ -58,6 +58,12 @@ pub struct MapperConfig {
     /// stage-local re-measurement and graceful ILP degradation
     /// ([`harden`](crate::harden)).
     pub robustness: RobustnessConfig,
+    /// Branch-and-bound worker threads for the reconstruction ILP
+    /// (`<= 1` means serial). Solutions are byte-identical at any count.
+    pub ilp_workers: usize,
+    /// Dual-simplex warm starts across branch-and-bound nodes. On by
+    /// default; disabling selects the cold revised engine (for ablations).
+    pub ilp_warm_start: bool,
 }
 
 impl Default for MapperConfig {
@@ -71,6 +77,8 @@ impl Default for MapperConfig {
             full_formulation: false,
             ring: RingClass::Bl,
             robustness: RobustnessConfig::default(),
+            ilp_workers: 1,
+            ilp_warm_start: true,
         }
     }
 }
@@ -199,6 +207,10 @@ impl CoreMapper {
                 machine.grid_dim(),
                 self.config.full_formulation,
                 &self.config.robustness,
+                crate::ilp_model::SolveOptions {
+                    workers: self.config.ilp_workers,
+                    warm_start: self.config.ilp_warm_start,
+                },
             )?
         };
 

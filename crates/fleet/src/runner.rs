@@ -221,6 +221,12 @@ impl FleetRunner {
     /// measures, so the same runner drives simulators, recording wrappers
     /// or fault-injection studies.
     ///
+    /// Idle runner threads are handed to the ILP stage: when the campaign
+    /// has fewer instances than workers, each instance's branch-and-bound
+    /// solve gets `workers / count` threads (never lowering an explicit
+    /// `ilp_workers` setting). Solutions are byte-identical at any worker
+    /// split, so this only changes wall-clock time.
+    ///
     /// Recovered maps carry the model's die template, as every consumer
     /// wants them.
     pub fn map_instances<B, F>(
@@ -235,6 +241,9 @@ impl FleetRunner {
         B: MachineBackend,
         F: Fn(&CloudInstance) -> B + Sync,
     {
+        let mut cfg = mapper.config().clone();
+        cfg.ilp_workers = cfg.ilp_workers.max(self.workers / count.max(1));
+        let mapper = CoreMapper::with_config(cfg);
         self.run(fleet, model, count, |instance| {
             let mut machine = boot(instance);
             mapper.map_with_diagnostics(&mut machine).map(|(m, diag)| {

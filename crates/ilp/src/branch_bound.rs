@@ -1,11 +1,72 @@
 //! Branch & bound over the LP relaxations.
+//!
+//! The search is organized as a **deterministic sequencer** plus optional
+//! **speculative workers**:
+//!
+//! * The sequencer owns the frontier and consumes nodes in a fixed order —
+//!   depth-first (most recent child first) until the first incumbent, then
+//!   best-bound (lowest parent LP bound, deepest, earliest-created) — and is
+//!   the only place that records metrics or mutates search state. Every
+//!   decision it makes is a pure function of the model and the consumed node
+//!   results.
+//! * Workers race ahead and *pre-evaluate* frontier nodes. Node evaluation
+//!   is a pure function of `(engine, node bounds, parent basis)`, so a
+//!   precomputed bundle is byte-identical to what the sequencer would have
+//!   computed inline; worker count and scheduling can change only how much
+//!   wall-clock the sequencer spends waiting, never the answer or the
+//!   metrics stream.
+//!
+//! Each node is evaluated in up to two stages:
+//!
+//! * **Stage A (warm)** — dual simplex from the parent's optimal basis
+//!   ([`RevisedEngine::solve_dual_from`]). After a branch tightens one
+//!   variable bound the parent basis stays dual feasible, so a few dual
+//!   pivots either prove the child infeasible or produce an objective bound.
+//!   A bound at least `PRUNE_MARGIN` above the incumbent prunes the node
+//!   without ever running stage B.
+//! * **Stage B (canonical)** — a cold two-phase primal solve. Its `x` drives
+//!   branching and incumbents for *every* surviving node, in warm and cold
+//!   configurations alike, which is what makes warm-started and cold runs
+//!   produce identical solutions: the warm stage only ever removes nodes
+//!   whose canonical bound would have pruned them anyway.
+//!
+//! Child nodes run sparse bound propagation (interval arithmetic plus the
+//! one-hot / link-row indicator inference of [`crate::presolve`]) before
+//! entering the frontier, so provably-dead subtrees never cost an LP.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use coremap_obs as obs;
 
 use crate::model::{Model, VarKind};
-use crate::simplex::{solve_lp, LpOutcome, LpProblem, LpRow, FEAS_TOL};
+use crate::presolve::{self, IndicatorStructure, SparseRow};
+use crate::revised::{Basis, LpStats, RevisedEngine};
+use crate::simplex::{solve_lp_with_bland_switch, LpOutcome, LpProblem, LpRow, FEAS_TOL};
 use crate::solution::{Solution, SolveStats, Status};
 use crate::SolveError;
+
+/// A warm bound must clear the incumbent by this much before it prunes a
+/// node on its own. Within the margin the canonical stage-B solve decides,
+/// so warm-started runs prune exactly the nodes a cold run would.
+const PRUNE_MARGIN: f64 = 1e-6;
+
+/// Default Dantzig→Bland anti-cycling switch (simplex pivots per LP solve).
+const DEFAULT_BLAND_SWITCH: usize = 2_000;
+
+/// LP engine driving the node relaxations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LpEngine {
+    /// Sparse revised simplex; children warm-start with the dual simplex
+    /// from their parent's optimal basis (default).
+    #[default]
+    RevisedWarm,
+    /// Sparse revised simplex, cold two-phase solve at every node.
+    RevisedCold,
+    /// Dense-tableau cold solve at every node (the pre-optimization
+    /// baseline, kept for differential tests and benchmarks).
+    DenseTableau,
+}
 
 /// Branch-and-bound configuration.
 #[derive(Debug, Clone)]
@@ -14,6 +75,17 @@ pub struct BbConfig {
     pub node_limit: usize,
     /// Branching rule.
     pub branching: Branching,
+    /// LP engine for the node relaxations.
+    pub engine: LpEngine,
+    /// Worker threads (`>= 2` enables speculative node evaluation; `0` and
+    /// `1` both mean serial). Results and metrics are byte-identical at any
+    /// worker count. Ignored by [`LpEngine::DenseTableau`].
+    pub workers: usize,
+    /// Simplex pivots per LP solve before Bland's anti-cycling rule
+    /// engages. The counter is per solve: a warm-started child never
+    /// inherits its parent's pivot count. Exposed for cycling regression
+    /// tests; leave at the default otherwise.
+    pub bland_switch: usize,
 }
 
 impl Default for BbConfig {
@@ -21,6 +93,9 @@ impl Default for BbConfig {
         Self {
             node_limit: 200_000,
             branching: Branching::MostFractional,
+            engine: LpEngine::default(),
+            workers: 1,
+            bland_switch: DEFAULT_BLAND_SWITCH,
         }
     }
 }
@@ -35,13 +110,167 @@ pub enum Branching {
     FirstFractional,
 }
 
-#[derive(Debug, Clone)]
-struct Node {
-    /// Per-variable bound overrides `(lb, ub)`.
+/// Immutable per-solve context shared by the sequencer and the workers.
+struct SearchCtx<'a> {
+    model: &'a Model,
+    n: usize,
+    /// Dense objective (fixed summation order for exact incumbent values).
+    objective: Vec<f64>,
+    rows: Vec<LpRow>,
+    sparse_rows: Vec<SparseRow>,
+    kinds: Vec<VarKind>,
+    structure: IndicatorStructure,
+    /// `None` only for [`LpEngine::DenseTableau`].
+    revised: Option<RevisedEngine>,
+    engine: LpEngine,
+    /// Integer variables in branching order (descending priority, stable).
+    int_vars: Vec<usize>,
+    priorities: Vec<i32>,
+}
+
+/// A frontier node. Everything an evaluation needs is fixed at creation,
+/// which is what makes worker pre-evaluation pure.
+struct NodeData {
+    seq: u64,
     bounds: Vec<(f64, f64)>,
-    /// LP bound of the parent (for best-first ordering).
+    /// Canonical LP bound of the parent (best-bound ordering, cheap prune).
     parent_bound: f64,
     depth: usize,
+    /// Parent's optimal basis ([`LpEngine::RevisedWarm`] only).
+    parent_basis: Option<Arc<Basis>>,
+}
+
+/// Stage-A (warm dual) result inside an [`EvalBundle`].
+enum WarmStage {
+    /// No parent basis, or warm starts disabled.
+    NotAttempted,
+    /// The dual solve failed (singular start, iteration limit): fall back
+    /// to the cold path as if no basis existed.
+    Miss,
+    /// Dual-unbounded ray: the child is infeasible.
+    Infeasible(LpStats),
+    /// Re-optimized: objective bound for the subtree.
+    Bound(f64, LpStats),
+}
+
+/// Canonical cold-solve result.
+struct ColdEval {
+    outcome: LpOutcome,
+    basis: Option<Basis>,
+    stats: LpStats,
+}
+
+/// A node evaluation: warm stage plus, unless the warm stage already
+/// settled the node at the evaluation-time cutoff, the canonical cold
+/// stage. The cutoff only ever decreases, so a bundle whose cold stage was
+/// skipped is still settled at consumption time.
+struct EvalBundle {
+    warm: WarmStage,
+    cold: Option<ColdEval>,
+}
+
+/// Speculation state shared between the sequencer and the workers.
+struct SpecState {
+    inner: Mutex<SpecInner>,
+    cv: Condvar,
+}
+
+struct SpecInner {
+    /// Frontier nodes available for pre-evaluation.
+    queue: BTreeMap<u64, Arc<NodeData>>,
+    /// Nodes a worker is currently evaluating.
+    claimed: BTreeSet<u64>,
+    /// Finished pre-evaluations, keyed by node sequence number.
+    results: BTreeMap<u64, Result<EvalBundle, SolveError>>,
+    /// Nodes the sequencer has consumed or pruned; late worker results for
+    /// them are dropped.
+    retired: BTreeSet<u64>,
+    /// Current incumbent objective (`+inf` before the first incumbent).
+    cutoff: f64,
+    shutdown: bool,
+}
+
+impl SpecState {
+    fn new() -> Self {
+        Self {
+            inner: Mutex::new(SpecInner {
+                queue: BTreeMap::new(),
+                claimed: BTreeSet::new(),
+                results: BTreeMap::new(),
+                retired: BTreeSet::new(),
+                cutoff: f64::INFINITY,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Poison-tolerant lock: `SpecInner` is valid after any unwind (workers
+    /// never leave it mid-update), so a poisoned mutex is recoverable.
+    fn lock(&self) -> MutexGuard<'_, SpecInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn wait<'a>(&self, g: MutexGuard<'a, SpecInner>) -> MutexGuard<'a, SpecInner> {
+        self.cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Wakes every worker with the shutdown flag on scope exit, including
+/// error and panic unwinds, so `thread::scope` can always join.
+struct ShutdownGuard<'a>(&'a SpecState);
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        self.0.lock().shutdown = true;
+        self.0.cv.notify_all();
+    }
+}
+
+/// The frontier, indexed both by creation order (depth-first phase) and by
+/// `(parent bound, depth, creation order)` (best-bound phase).
+#[derive(Default)]
+struct Frontier {
+    by_seq: BTreeMap<u64, Arc<NodeData>>,
+    by_bound: BTreeSet<(u64, u64, u64)>,
+}
+
+/// Order-preserving map from `f64` to `u64` (total order, `-inf` first).
+fn f64_key(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b & (1 << 63) != 0 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+fn bound_key(n: &NodeData) -> (u64, u64, u64) {
+    // Lowest bound first; deeper first among equal bounds (finishes a dive
+    // and finds incumbents sooner); earliest-created breaks remaining ties.
+    (f64_key(n.parent_bound), u64::MAX - n.depth as u64, n.seq)
+}
+
+impl Frontier {
+    fn push(&mut self, node: Arc<NodeData>) {
+        self.by_bound.insert(bound_key(&node));
+        self.by_seq.insert(node.seq, node);
+    }
+
+    /// Depth-first (newest node) before the first incumbent, best-bound
+    /// after: the dive finds a first incumbent quickly, best-bound then
+    /// closes the gap with the fewest node evaluations.
+    fn pop(&mut self, have_incumbent: bool) -> Option<Arc<NodeData>> {
+        let node = if have_incumbent {
+            let &(_, _, seq) = self.by_bound.first()?;
+            self.by_seq.remove(&seq)?
+        } else {
+            let (_, node) = self.by_seq.pop_last()?;
+            node
+        };
+        self.by_bound.remove(&bound_key(&node));
+        Some(node)
+    }
 }
 
 /// Solves `model` by LP-based branch & bound.
@@ -60,9 +289,12 @@ pub(crate) fn solve(model: &Model, cfg: &BbConfig) -> Result<Solution, SolveErro
             rhs: c.rhs,
         })
         .collect();
-    // Root preprocessing: interval bound propagation shrinks domains (and
-    // can prove infeasibility) before any LP is solved.
-    let root_bounds: Vec<(f64, f64)> = crate::presolve::tightened_bounds(model)?;
+    // Root preprocessing: interval + indicator bound propagation shrinks
+    // domains (and can prove infeasibility) before any LP is solved.
+    let root_bounds: Vec<(f64, f64)> = presolve::tightened_bounds(model)?;
+    let sparse_rows = presolve::model_rows(model);
+    let kinds: Vec<VarKind> = model.vars.iter().map(|v| v.kind).collect();
+    let structure = IndicatorStructure::detect(&sparse_rows, &kinds, n);
     let mut int_vars: Vec<usize> = (0..n)
         .filter(|&j| matches!(model.vars[j].kind, VarKind::Integer | VarKind::Binary))
         .collect();
@@ -70,24 +302,66 @@ pub(crate) fn solve(model: &Model, cfg: &BbConfig) -> Result<Solution, SolveErro
     // determinism.
     int_vars.sort_by_key(|&j| std::cmp::Reverse(model.vars[j].priority));
     let priorities: Vec<i32> = int_vars.iter().map(|&j| model.vars[j].priority).collect();
+    let revised = match cfg.engine {
+        LpEngine::DenseTableau => None,
+        _ => Some(RevisedEngine::from_parts(n, &objective, &rows)),
+    };
+    let ctx = SearchCtx {
+        model,
+        n,
+        objective,
+        rows,
+        sparse_rows,
+        kinds,
+        structure,
+        revised,
+        engine: cfg.engine,
+        int_vars,
+        priorities,
+    };
 
+    let speculative = cfg.workers >= 2 && cfg.engine != LpEngine::DenseTableau;
+    if !speculative {
+        return sequencer(&ctx, cfg, root_bounds, None);
+    }
+    let spec = SpecState::new();
+    std::thread::scope(|scope| {
+        let _guard = ShutdownGuard(&spec);
+        for _ in 0..cfg.workers - 1 {
+            scope.spawn(|| worker_loop(&ctx, &spec, cfg.bland_switch));
+        }
+        sequencer(&ctx, cfg, root_bounds, Some(&spec))
+    })
+}
+
+/// The deterministic main loop: pops nodes in a fixed order, consumes their
+/// evaluations (precomputed or inline) and is the only thread that records
+/// metrics or mutates search state.
+fn sequencer(
+    ctx: &SearchCtx<'_>,
+    cfg: &BbConfig,
+    root_bounds: Vec<(f64, f64)>,
+    spec: Option<&SpecState>,
+) -> Result<Solution, SolveError> {
     let mut stats = SolveStats::default();
     let mut incumbent: Option<(Vec<f64>, f64)> = None;
+    let mut frontier = Frontier::default();
+    let mut next_seq = 0u64;
+    push_node(
+        &mut frontier,
+        spec,
+        &mut next_seq,
+        root_bounds,
+        f64::NEG_INFINITY,
+        0,
+        None,
+    );
 
-    // Depth-first search with a stack: dives to integer feasibility quickly,
-    // which gives an incumbent for pruning; with the mostly-integral LPs of
-    // the reconstruction model this explores very few nodes.
-    let mut stack = vec![Node {
-        bounds: root_bounds,
-        parent_bound: f64::NEG_INFINITY,
-        depth: 0,
-    }];
-
-    while let Some(node) = stack.pop() {
+    while let Some(node) = frontier.pop(incumbent.is_some()) {
         if stats.nodes >= cfg.node_limit {
             return match incumbent {
                 Some((values, objective)) => {
-                    finish(model, values, objective, Status::Feasible, stats)
+                    finish(ctx.model, values, objective, Status::Feasible, stats)
                 }
                 None => Err(SolveError::NodeLimit),
             };
@@ -95,31 +369,50 @@ pub(crate) fn solve(model: &Model, cfg: &BbConfig) -> Result<Solution, SolveErro
         stats.nodes += 1;
         obs::inc("ilp.bb.nodes");
 
-        // Prune on the parent bound before paying for the LP.
+        // Prune on the parent's canonical bound before paying for any LP.
         if let Some((_, inc_obj)) = &incumbent {
             if node.parent_bound >= *inc_obj - 1e-9 {
                 obs::inc("ilp.bb.pruned");
+                retire(spec, node.seq);
                 continue;
             }
         }
 
-        let lp = LpProblem {
-            n,
-            objective: objective.clone(),
-            rows: rows.clone(),
-            bounds: node.bounds.clone(),
-        };
-        let outcome = solve_lp(&lp)?;
-        let (x, bound, iters) = match outcome {
+        let cutoff = incumbent.as_ref().map_or(f64::INFINITY, |&(_, o)| o);
+        let bundle = obtain(ctx, spec, &node, cutoff, cfg.bland_switch)?;
+
+        match bundle.warm {
+            WarmStage::NotAttempted | WarmStage::Miss => {}
+            WarmStage::Infeasible(st) => {
+                record_lp(&mut stats, &st);
+                obs::inc("ilp.bb.warm_start_hits");
+                continue;
+            }
+            WarmStage::Bound(za, st) => {
+                record_lp(&mut stats, &st);
+                obs::inc("ilp.bb.warm_start_hits");
+                if za >= cutoff + PRUNE_MARGIN {
+                    obs::inc("ilp.bb.pruned");
+                    continue;
+                }
+            }
+        }
+
+        // The warm stage either settled the node above or guarantees a cold
+        // stage is present; `None` here is unreachable, handled without
+        // panicking to honor the library's no-panic policy.
+        let Some(cold) = bundle.cold else { continue };
+        if ctx.engine == LpEngine::DenseTableau {
+            // The dense engine records its own pivot metrics.
+            stats.lp_iterations += cold.stats.pivots;
+        } else {
+            record_lp(&mut stats, &cold.stats);
+        }
+        let (x, bound) = match cold.outcome {
             LpOutcome::Infeasible => continue,
             LpOutcome::Unbounded => return Err(SolveError::Unbounded),
-            LpOutcome::Optimal {
-                x,
-                objective,
-                iterations,
-            } => (x, objective, iterations),
+            LpOutcome::Optimal { x, objective, .. } => (x, objective),
         };
-        stats.lp_iterations += iters;
 
         if let Some((_, inc_obj)) = &incumbent {
             if bound >= *inc_obj - 1e-9 {
@@ -128,20 +421,21 @@ pub(crate) fn solve(model: &Model, cfg: &BbConfig) -> Result<Solution, SolveErro
             }
         }
 
-        // Find a fractional integer variable.
-        let frac = select_branching(&x, &int_vars, &priorities, cfg.branching);
-        match frac {
+        match select_branching(&x, &ctx.int_vars, &ctx.priorities, cfg.branching) {
             None => {
-                // Integer feasible: new incumbent.
+                // Integer feasible: round and recompute the objective
+                // exactly over the rounded point (fixed summation order).
                 let mut values = x;
-                for &j in &int_vars {
+                for &j in &ctx.int_vars {
                     values[j] = values[j].round();
                 }
-                match &incumbent {
-                    Some((_, inc_obj)) if bound >= *inc_obj => {}
-                    _ => {
-                        obs::inc("ilp.bb.incumbents");
-                        incumbent = Some((values, bound));
+                let exact: f64 = values.iter().zip(&ctx.objective).map(|(v, c)| v * c).sum();
+                let improves = incumbent.as_ref().is_none_or(|&(_, inc)| exact < inc);
+                if improves {
+                    obs::inc("ilp.bb.incumbents");
+                    incumbent = Some((values, exact));
+                    if let Some(spec) = spec {
+                        spec.lock().cutoff = exact;
                     }
                 }
             }
@@ -149,28 +443,271 @@ pub(crate) fn solve(model: &Model, cfg: &BbConfig) -> Result<Solution, SolveErro
                 let v = x[j];
                 let floor = v.floor();
                 let (lb, ub) = node.bounds[j];
-                // Down branch (explored first: pushed last).
+                let basis = cold.basis.map(Arc::new);
                 let mut down = node.bounds.clone();
                 down[j] = (lb, floor.min(ub));
                 let mut up = node.bounds.clone();
                 up[j] = ((floor + 1.0).max(lb), ub);
-                stack.push(Node {
-                    bounds: up,
-                    parent_bound: bound,
-                    depth: node.depth + 1,
-                });
-                stack.push(Node {
-                    bounds: down,
-                    parent_bound: bound,
-                    depth: node.depth + 1,
-                });
+                // Up pushed first so the depth-first phase explores the
+                // down branch first, matching the serial dive order.
+                for child in [up, down] {
+                    if let Some(tightened) = tighten_child(ctx, child) {
+                        push_node(
+                            &mut frontier,
+                            spec,
+                            &mut next_seq,
+                            tightened,
+                            bound,
+                            node.depth + 1,
+                            basis.clone(),
+                        );
+                    }
+                }
             }
         }
     }
 
     match incumbent {
-        Some((values, objective)) => finish(model, values, objective, Status::Optimal, stats),
+        Some((values, objective)) => finish(ctx.model, values, objective, Status::Optimal, stats),
         None => Err(SolveError::Infeasible),
+    }
+}
+
+/// Node-level presolve: branch-tightened child bounds run interval +
+/// indicator propagation; provably infeasible children are dropped before
+/// they ever reach the frontier. Returns the tightened bounds.
+fn tighten_child(ctx: &SearchCtx<'_>, mut bounds: Vec<(f64, f64)>) -> Option<Vec<(f64, f64)>> {
+    let fixed_before = presolve::count_fixed(&bounds);
+    let mut tightenings = 0u64;
+    let res = presolve::tighten_quiet(
+        &ctx.sparse_rows,
+        &ctx.kinds,
+        &ctx.structure,
+        &mut bounds,
+        &mut tightenings,
+    );
+    obs::add("ilp.presolve.tightenings", tightenings);
+    match res {
+        Ok(()) => {
+            obs::add(
+                "ilp.presolve.vars_fixed",
+                presolve::count_fixed(&bounds).saturating_sub(fixed_before) as u64,
+            );
+            Some(bounds)
+        }
+        Err(_) => None,
+    }
+}
+
+fn push_node(
+    frontier: &mut Frontier,
+    spec: Option<&SpecState>,
+    next_seq: &mut u64,
+    bounds: Vec<(f64, f64)>,
+    parent_bound: f64,
+    depth: usize,
+    parent_basis: Option<Arc<Basis>>,
+) {
+    let node = Arc::new(NodeData {
+        seq: *next_seq,
+        bounds,
+        parent_bound,
+        depth,
+        parent_basis,
+    });
+    *next_seq += 1;
+    if let Some(spec) = spec {
+        let mut g = spec.lock();
+        g.queue.insert(node.seq, Arc::clone(&node));
+        drop(g);
+        spec.cv.notify_all();
+    }
+    frontier.push(node);
+}
+
+/// Drops a node from the speculation state without consuming a result.
+fn retire(spec: Option<&SpecState>, seq: u64) {
+    if let Some(spec) = spec {
+        let mut g = spec.lock();
+        g.queue.remove(&seq);
+        g.results.remove(&seq);
+        g.retired.insert(seq);
+    }
+}
+
+/// Fetches the node's evaluation: a worker's precomputed bundle when one
+/// exists (waiting for it if in flight), the sequencer's own inline
+/// evaluation otherwise. Either way the bundle is the same pure function of
+/// the node, so worker count never changes what the sequencer consumes.
+fn obtain(
+    ctx: &SearchCtx<'_>,
+    spec: Option<&SpecState>,
+    node: &NodeData,
+    cutoff: f64,
+    bland_switch: usize,
+) -> Result<EvalBundle, SolveError> {
+    let Some(spec) = spec else {
+        return evaluate(ctx, node, cutoff, bland_switch);
+    };
+    let mut g = spec.lock();
+    g.queue.remove(&node.seq);
+    loop {
+        if let Some(r) = g.results.remove(&node.seq) {
+            g.retired.insert(node.seq);
+            return r;
+        }
+        if !g.claimed.contains(&node.seq) {
+            g.retired.insert(node.seq);
+            drop(g);
+            return evaluate(ctx, node, cutoff, bland_switch);
+        }
+        g = spec.wait(g);
+    }
+}
+
+/// Evaluates one node: warm dual stage (when a parent basis exists), then
+/// the canonical cold stage unless the warm stage already settled the node
+/// at `cutoff`. Pure: no metrics, no shared state.
+fn evaluate(
+    ctx: &SearchCtx<'_>,
+    node: &NodeData,
+    cutoff: f64,
+    bland_switch: usize,
+) -> Result<EvalBundle, SolveError> {
+    let mut warm = WarmStage::NotAttempted;
+    // Stage A runs only in the warm configuration; `RevisedCold` is the
+    // cold-resolve ablation arm and must not touch the parent basis.
+    if ctx.engine != LpEngine::RevisedWarm {
+        let cold = cold_eval(ctx, node, bland_switch)?;
+        return Ok(EvalBundle {
+            warm,
+            cold: Some(cold),
+        });
+    }
+    if let (Some(engine), Some(pb)) = (&ctx.revised, &node.parent_basis) {
+        match engine.solve_dual_from(&node.bounds, pb, bland_switch) {
+            Err(_) => warm = WarmStage::Miss,
+            Ok(out) => match out.outcome {
+                LpOutcome::Infeasible => {
+                    return Ok(EvalBundle {
+                        warm: WarmStage::Infeasible(out.stats),
+                        cold: None,
+                    });
+                }
+                LpOutcome::Optimal { objective: za, .. } => {
+                    if za >= cutoff + PRUNE_MARGIN {
+                        return Ok(EvalBundle {
+                            warm: WarmStage::Bound(za, out.stats),
+                            cold: None,
+                        });
+                    }
+                    warm = WarmStage::Bound(za, out.stats);
+                }
+                // The dual simplex never terminates unbounded; treat a
+                // malformed outcome as a miss rather than panicking.
+                LpOutcome::Unbounded => warm = WarmStage::Miss,
+            },
+        }
+    }
+    let cold = cold_eval(ctx, node, bland_switch)?;
+    Ok(EvalBundle {
+        warm,
+        cold: Some(cold),
+    })
+}
+
+/// Stage B: the canonical cold solve of the node's LP relaxation. Every
+/// branching and incumbent decision flows from this result alone.
+fn cold_eval(
+    ctx: &SearchCtx<'_>,
+    node: &NodeData,
+    bland_switch: usize,
+) -> Result<ColdEval, SolveError> {
+    match &ctx.revised {
+        Some(engine) => {
+            let out = engine.solve_primal(&node.bounds, bland_switch)?;
+            Ok(ColdEval {
+                outcome: out.outcome,
+                basis: out.basis,
+                stats: out.stats,
+            })
+        }
+        None => {
+            let lp = LpProblem {
+                n: ctx.n,
+                objective: ctx.objective.clone(),
+                rows: ctx.rows.clone(),
+                bounds: node.bounds.clone(),
+            };
+            let outcome = solve_lp_with_bland_switch(&lp, bland_switch)?;
+            let pivots = match &outcome {
+                LpOutcome::Optimal { iterations, .. } => *iterations,
+                _ => 0,
+            };
+            Ok(ColdEval {
+                outcome,
+                basis: None,
+                stats: LpStats {
+                    pivots,
+                    refactorizations: 0,
+                    bland_engaged: false,
+                },
+            })
+        }
+    }
+}
+
+/// Speculative worker: repeatedly claims a frontier node, evaluates it with
+/// the cutoff snapshotted at claim time (the cutoff only decreases, so a
+/// skipped cold stage stays valid) and posts the bundle for the sequencer.
+fn worker_loop(ctx: &SearchCtx<'_>, spec: &SpecState, bland_switch: usize) {
+    let mut g = spec.lock();
+    loop {
+        if g.shutdown {
+            return;
+        }
+        // Claim the node the sequencer will want soonest: newest during
+        // the depth-first phase, best-bound once an incumbent exists.
+        let candidate = if g.cutoff.is_finite() {
+            g.queue
+                .values()
+                .filter(|n| !g.claimed.contains(&n.seq))
+                .min_by_key(|n| bound_key(n))
+                .map(Arc::clone)
+        } else {
+            g.queue
+                .values()
+                .rev()
+                .find(|n| !g.claimed.contains(&n.seq))
+                .map(Arc::clone)
+        };
+        let Some(node) = candidate else {
+            g = spec.wait(g);
+            continue;
+        };
+        g.claimed.insert(node.seq);
+        let cutoff = g.cutoff;
+        drop(g);
+        let bundle = evaluate(ctx, &node, cutoff, bland_switch);
+        g = spec.lock();
+        g.claimed.remove(&node.seq);
+        if !g.retired.contains(&node.seq) {
+            g.results.insert(node.seq, bundle);
+        }
+        drop(g);
+        spec.cv.notify_all();
+        g = spec.lock();
+    }
+}
+
+/// Folds one LP solve's statistics into the search stats and the metrics
+/// registry (revised engine only; the dense engine self-records).
+fn record_lp(stats: &mut SolveStats, lp: &LpStats) {
+    stats.lp_iterations += lp.pivots;
+    obs::add("ilp.simplex.pivots", lp.pivots as u64);
+    obs::add("ilp.simplex.refactorizations", lp.refactorizations as u64);
+    if lp.bland_engaged {
+        obs::inc("ilp.simplex.bland_switches");
     }
 }
 
@@ -236,6 +773,7 @@ fn finish(
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::{BbConfig, LpEngine};
     use crate::{Cmp, Model, SolveError, Status};
 
     #[test]
@@ -378,5 +916,187 @@ mod tests {
         let sol = m.solve().unwrap();
         assert_eq!(sol.int_value(ne), 1);
         assert_eq!(sol.int_value(nw), 0);
+    }
+
+    /// A model with enough LP-relaxation gap to force a real tree:
+    /// maximize a weighted sum of binaries under two odd-capacity covering
+    /// rows (every LP relaxation lands on half-integral vertices).
+    fn branching_model(k: usize) -> Model {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..2 * k).map(|i| m.bin_var(&format!("b{i}"))).collect();
+        let mut obj = m.expr();
+        for (i, &v) in vars.iter().enumerate() {
+            obj = obj.term(-(1.0 + (i % 3) as f64 * 0.1), v);
+        }
+        m.minimize(obj);
+        let all = vars
+            .iter()
+            .fold(m.expr(), |e, &v| e.term(2.0, v))
+            .constant_free();
+        m.constraint(all, Cmp::Le, 2.0 * k as f64 + 1.0);
+        let half = vars
+            .iter()
+            .take(k + 1)
+            .fold(m.expr(), |e, &v| e.term(2.0, v))
+            .constant_free();
+        m.constraint(half, Cmp::Le, k as f64 + 1.0);
+        m
+    }
+
+    /// All engine configurations produce identical solutions: warm-started
+    /// and parallel searches consume canonical stage-B results only, so the
+    /// answer is a pure function of the model.
+    #[test]
+    fn engines_and_worker_counts_agree() {
+        let m = branching_model(5);
+        let cold = m
+            .solve_with_config(&BbConfig {
+                engine: LpEngine::RevisedCold,
+                ..BbConfig::default()
+            })
+            .unwrap();
+        for (engine, workers) in [
+            (LpEngine::RevisedWarm, 1),
+            (LpEngine::RevisedWarm, 4),
+            (LpEngine::RevisedCold, 8),
+        ] {
+            let sol = m
+                .solve_with_config(&BbConfig {
+                    engine,
+                    workers,
+                    ..BbConfig::default()
+                })
+                .unwrap();
+            let bits = |s: &crate::Solution| -> Vec<u64> {
+                s.values.iter().map(|v| v.to_bits()).collect()
+            };
+            assert_eq!(
+                bits(&sol),
+                bits(&cold),
+                "{engine:?} x{workers} diverged from cold serial"
+            );
+            assert_eq!(sol.objective().to_bits(), cold.objective().to_bits());
+            assert_eq!(sol.status(), cold.status());
+        }
+    }
+
+    /// The anti-cycling pivot counter resets per LP solve: a tree whose
+    /// *total* pivot count crosses the Bland switch must never engage it as
+    /// long as each individual node solve stays below the threshold. A
+    /// carried-over counter would trip on a later node and record a switch.
+    #[test]
+    fn bland_counter_resets_per_node_resolve() {
+        let reg = std::sync::Arc::new(coremap_obs::Registry::new());
+        let total_pivots;
+        let nodes;
+        {
+            let _g = coremap_obs::install(reg.clone());
+            let sol = branching_model(5).solve().unwrap();
+            nodes = sol.stats().nodes;
+            total_pivots = reg.counter_value("ilp.simplex.pivots");
+            assert_eq!(reg.counter_value("ilp.simplex.bland_switches"), 0);
+        }
+        assert!(nodes >= 3, "model must branch ({nodes} nodes)");
+        // Re-solve with the switch set between the largest plausible
+        // single-solve pivot count and the total. 64 is far above any one
+        // solve of this tiny model (each LP has <= 12 columns); the total
+        // is far above it.
+        let switch = 64;
+        assert!(
+            total_pivots > switch,
+            "total pivots {total_pivots} must exceed the switch {switch}"
+        );
+        let reg2 = std::sync::Arc::new(coremap_obs::Registry::new());
+        {
+            let _g = coremap_obs::install(reg2.clone());
+            let sol = branching_model(5)
+                .solve_with_config(&BbConfig {
+                    bland_switch: switch as usize,
+                    ..BbConfig::default()
+                })
+                .unwrap();
+            assert_eq!(sol.status(), Status::Optimal);
+        }
+        assert_eq!(
+            reg2.counter_value("ilp.simplex.bland_switches"),
+            0,
+            "per-solve counter must not accumulate across node re-solves"
+        );
+    }
+
+    /// Degenerate LP (assignment polytope, massively tied ratio tests) with
+    /// Bland engaged from the first pivot still reaches the optimum.
+    #[test]
+    fn degenerate_model_with_immediate_bland_terminates() {
+        let costs = [[4.0, 2.0, 8.0], [4.0, 3.0, 7.0], [3.0, 1.0, 6.0]];
+        let mut m = Model::new();
+        let mut x = Vec::new();
+        for i in 0..3 {
+            let mut row = Vec::new();
+            for j in 0..3 {
+                row.push(m.bin_var(&format!("x{i}{j}")));
+            }
+            x.push(row);
+        }
+        #[allow(clippy::needless_range_loop)] // i indexes rows and columns
+        for i in 0..3 {
+            m.constraint(m.expr().sum(x[i].iter().copied()), Cmp::Eq, 1.0);
+            m.constraint(m.expr().sum((0..3).map(|k| x[k][i])), Cmp::Eq, 1.0);
+        }
+        let mut obj = m.expr();
+        for i in 0..3 {
+            for j in 0..3 {
+                obj = obj.term(costs[i][j], x[i][j]);
+            }
+        }
+        m.minimize(obj);
+        let sol = m
+            .solve_with_config(&BbConfig {
+                bland_switch: 0,
+                ..BbConfig::default()
+            })
+            .unwrap();
+        assert!((sol.objective() - 12.0).abs() < 1e-6);
+    }
+
+    /// Warm-start hits are recorded whenever a child re-solves from its
+    /// parent's basis.
+    #[test]
+    fn warm_start_hits_recorded() {
+        let reg = std::sync::Arc::new(coremap_obs::Registry::new());
+        {
+            let _g = coremap_obs::install(reg.clone());
+            branching_model(5).solve().unwrap();
+        }
+        assert!(
+            reg.counter_value("ilp.bb.warm_start_hits") > 0,
+            "warm starts must register on a branching model"
+        );
+        assert!(reg.counter_value("ilp.bb.nodes") >= 3);
+        assert!(reg.counter_value("ilp.simplex.refactorizations") > 0);
+    }
+
+    /// Metrics are identical at any worker count: only the sequencer
+    /// records, and it consumes identical evaluations in identical order.
+    #[test]
+    fn metrics_identical_across_worker_counts() {
+        let mut exports = Vec::new();
+        for workers in [1usize, 4] {
+            let reg = std::sync::Arc::new(coremap_obs::Registry::new());
+            {
+                let _g = coremap_obs::install(reg.clone());
+                branching_model(6)
+                    .solve_with_config(&BbConfig {
+                        workers,
+                        ..BbConfig::default()
+                    })
+                    .unwrap();
+            }
+            exports.push(reg.to_json(false));
+        }
+        assert_eq!(
+            exports[0], exports[1],
+            "metrics must not depend on worker count"
+        );
     }
 }

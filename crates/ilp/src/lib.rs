@@ -46,12 +46,15 @@
 
 mod branch_bound;
 mod error;
+mod lu;
 mod model;
 pub mod presolve;
+mod revised;
 pub mod simplex;
 mod solution;
+mod sparse;
 
-pub use branch_bound::Branching;
+pub use branch_bound::{BbConfig, Branching, LpEngine};
 pub use error::SolveError;
 pub use model::{Cmp, ExprBuilder, LinExpr, Model, Var, VarKind};
 pub use solution::{Solution, SolveStats, Status};

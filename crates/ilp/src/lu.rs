@@ -1,0 +1,353 @@
+//! LU factorization of the simplex basis, with product-form eta updates.
+//!
+//! The revised simplex never forms `B⁻¹` explicitly. A basis `B` (one
+//! column per row slot) is factorized as `P B = L U` with partial row
+//! pivoting; FTRAN (`B x = b`) and BTRAN (`Bᵀ y = c`) are triangular
+//! solves. After each basis change the factorization is patched with a
+//! product-form eta matrix instead of being recomputed; once the eta file
+//! grows past [`REFACTOR_EVERY`] entries (or a pivot element is too small
+//! to be stable) the basis is refactorized from scratch, which also resets
+//! accumulated floating-point drift.
+//!
+//! The elimination uses a dense scratch matrix for bookkeeping but stores
+//! `L` and `U` sparsely and only performs arithmetic on structural
+//! non-zeros, so the work per refactorization scales with fill-in rather
+//! than `m³` — the bases arising from the reconstruction ILP are unit
+//! columns plus a sparse fringe, and factor in near-linear time.
+
+/// Eta-file length that triggers a refactorization.
+pub(crate) const REFACTOR_EVERY: usize = 64;
+
+/// Pivot magnitude below which the factorization refuses to proceed.
+const SINGULAR_TOL: f64 = 1e-11;
+
+/// Eta-pivot magnitude below which [`Factorization::update`] asks the
+/// caller to refactorize instead.
+const ETA_TOL: f64 = 1e-9;
+
+/// The basis was numerically singular.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Singular;
+
+/// Caller must refactorize from the current basis columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct NeedsRefactor;
+
+#[derive(Debug, Clone)]
+struct Eta {
+    /// Basis slot replaced by this update.
+    r: usize,
+    /// Pivot element `w[r]`.
+    wr: f64,
+    /// Remaining non-zeros of `w = B⁻¹ a_q` (slot, value), `slot != r`.
+    others: Vec<(usize, f64)>,
+}
+
+/// Sparse LU factors of a basis plus the eta file of subsequent updates.
+#[derive(Debug, Clone)]
+pub(crate) struct Factorization {
+    m: usize,
+    /// Unit lower-triangular columns: `l_cols[k]` holds `(pos, mult)` with
+    /// `pos > k`, in permuted row positions.
+    l_cols: Vec<Vec<(usize, f64)>>,
+    /// Upper-triangular rows: `u_rows[k]` holds `(col, value)` with
+    /// `col > k`; diagonals live in `u_diag`.
+    u_rows: Vec<Vec<(usize, f64)>>,
+    u_diag: Vec<f64>,
+    /// `perm[k]` = original row index occupying permuted position `k`.
+    perm: Vec<usize>,
+    etas: Vec<Eta>,
+}
+
+impl Factorization {
+    /// The factorization of the identity basis (all-slack starting basis;
+    /// slack and artificial columns are unit vectors).
+    pub fn identity(m: usize) -> Self {
+        Self {
+            m,
+            l_cols: vec![Vec::new(); m],
+            u_rows: vec![Vec::new(); m],
+            u_diag: vec![1.0; m],
+            perm: (0..m).collect(),
+            etas: Vec::new(),
+        }
+    }
+
+    /// Factorizes the basis whose columns are given as sparse
+    /// `(row, value)` lists (one per slot, in slot order).
+    pub fn factor(cols: &[Vec<(usize, f64)>]) -> Result<Self, Singular> {
+        let m = cols.len();
+        // Dense scratch in original-row-major layout; row permutation is
+        // tracked through `perm` so rows are never physically swapped.
+        let mut a = vec![0.0f64; m * m];
+        for (j, col) in cols.iter().enumerate() {
+            for &(r, v) in col {
+                a[r * m + j] += v;
+            }
+        }
+        let mut perm: Vec<usize> = (0..m).collect();
+        let mut l_cols = vec![Vec::new(); m];
+        let mut u_rows = vec![Vec::new(); m];
+        let mut u_diag = vec![0.0f64; m];
+        for k in 0..m {
+            // Partial pivoting: largest magnitude in column k at or below
+            // the diagonal; ties keep the smallest position (deterministic).
+            let mut best = k;
+            let mut best_mag = a[perm[k] * m + k].abs();
+            for (off, &p) in perm.iter().enumerate().skip(k + 1) {
+                let mag = a[p * m + k].abs();
+                if mag > best_mag {
+                    best_mag = mag;
+                    best = off;
+                }
+            }
+            if best_mag <= SINGULAR_TOL {
+                return Err(Singular);
+            }
+            perm.swap(k, best);
+            let prow = perm[k] * m;
+            let piv = a[prow + k];
+            u_diag[k] = piv;
+            let urow: Vec<(usize, f64)> = (k + 1..m)
+                .filter(|&c| a[prow + c] != 0.0)
+                .map(|c| (c, a[prow + c]))
+                .collect();
+            for &orow in perm.iter().take(m).skip(k + 1) {
+                let irow = orow * m;
+                let mult = a[irow + k] / piv;
+                if mult != 0.0 {
+                    // Record against the *original* row: a later pivot swap
+                    // may still move this row to a different position.
+                    l_cols[k].push((orow, mult));
+                    for &(c, uv) in &urow {
+                        a[irow + c] -= mult * uv;
+                    }
+                }
+            }
+            u_rows[k] = urow;
+        }
+        // Remap L entries from original rows to their final permuted
+        // positions, sorting for a deterministic gather order in BTRAN.
+        let mut pos_of = vec![0usize; m];
+        for (k, &r) in perm.iter().enumerate() {
+            pos_of[r] = k;
+        }
+        for col in &mut l_cols {
+            for e in col.iter_mut() {
+                e.0 = pos_of[e.0];
+            }
+            col.sort_by_key(|&(pos, _)| pos);
+        }
+        Ok(Self {
+            m,
+            l_cols,
+            u_rows,
+            u_diag,
+            perm,
+            etas: Vec::new(),
+        })
+    }
+
+    /// Solves `B x = b`. `b` is indexed by constraint row; the result is
+    /// indexed by basis slot.
+    pub fn ftran(&self, b: &[f64], out: &mut Vec<f64>) {
+        let m = self.m;
+        let mut y: Vec<f64> = self.perm.iter().map(|&r| b[r]).collect();
+        // L y' = y (forward, unit diagonal, scatter form).
+        for k in 0..m {
+            let alpha = y[k];
+            if alpha != 0.0 {
+                for &(pos, mult) in &self.l_cols[k] {
+                    y[pos] -= alpha * mult;
+                }
+            }
+        }
+        // U x = y' (backward, gather form over sparse rows).
+        out.clear();
+        out.resize(m, 0.0);
+        for k in (0..m).rev() {
+            let mut t = y[k];
+            for &(c, v) in &self.u_rows[k] {
+                t -= v * out[c];
+            }
+            out[k] = t / self.u_diag[k];
+        }
+        // Product-form updates, oldest first.
+        for eta in &self.etas {
+            let tr = out[eta.r] / eta.wr;
+            out[eta.r] = tr;
+            if tr != 0.0 {
+                for &(i, wi) in &eta.others {
+                    out[i] -= wi * tr;
+                }
+            }
+        }
+    }
+
+    /// Solves `Bᵀ y = c`. `c` is indexed by basis slot; the result is
+    /// indexed by constraint row.
+    pub fn btran(&self, c: &[f64], out: &mut Vec<f64>) {
+        let m = self.m;
+        let mut z: Vec<f64> = c.to_vec();
+        // Inverse-transpose etas, newest first.
+        for eta in self.etas.iter().rev() {
+            let mut acc = z[eta.r];
+            for &(i, wi) in &eta.others {
+                acc -= wi * z[i];
+            }
+            z[eta.r] = acc / eta.wr;
+        }
+        // Uᵀ w = z (forward, scatter form).
+        for k in 0..m {
+            let wk = z[k] / self.u_diag[k];
+            z[k] = wk;
+            if wk != 0.0 {
+                for &(c_idx, v) in &self.u_rows[k] {
+                    z[c_idx] -= wk * v;
+                }
+            }
+        }
+        // Lᵀ v = w (backward, gather form).
+        for k in (0..m).rev() {
+            let mut t = z[k];
+            for &(pos, mult) in &self.l_cols[k] {
+                t -= mult * z[pos];
+            }
+            z[k] = t;
+        }
+        out.clear();
+        out.resize(m, 0.0);
+        for (k, &r) in self.perm.iter().enumerate() {
+            out[r] = z[k];
+        }
+    }
+
+    /// Records the basis change that replaced slot `r`'s column with a
+    /// column whose FTRAN image is `w`. Returns [`NeedsRefactor`] when the
+    /// eta pivot is too small or the eta file is full.
+    pub fn update(&mut self, r: usize, w: &[f64]) -> Result<(), NeedsRefactor> {
+        let wr = w[r];
+        if wr.abs() < ETA_TOL || self.etas.len() >= REFACTOR_EVERY {
+            return Err(NeedsRefactor);
+        }
+        let others: Vec<(usize, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != r && v != 0.0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        self.etas.push(Eta { r, wr, others });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    fn dense_mul(cols: &[Vec<(usize, f64)>], x: &[f64]) -> Vec<f64> {
+        let m = cols.len();
+        let mut out = vec![0.0; m];
+        for (j, col) in cols.iter().enumerate() {
+            for &(r, v) in col {
+                out[r] += v * x[j];
+            }
+        }
+        out
+    }
+
+    fn dense_tmul(cols: &[Vec<(usize, f64)>], y: &[f64]) -> Vec<f64> {
+        cols.iter()
+            .map(|col| col.iter().map(|&(r, v)| v * y[r]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let cols: Vec<Vec<(usize, f64)>> = (0..4).map(|i| vec![(i, 1.0)]).collect();
+        let f = Factorization::factor(&cols).unwrap();
+        let b = vec![3.0, -1.0, 2.0, 0.5];
+        let mut x = Vec::new();
+        f.ftran(&b, &mut x);
+        assert_eq!(x, b);
+        let mut y = Vec::new();
+        f.btran(&b, &mut y);
+        assert_eq!(y, b);
+    }
+
+    #[test]
+    fn general_matrix_ftran_btran() {
+        // Needs pivoting: first diagonal entry is 0.
+        let cols = vec![
+            vec![(1, 2.0), (2, 1.0)],
+            vec![(0, 4.0), (1, -1.0)],
+            vec![(0, 1.0), (2, 3.0)],
+        ];
+        let f = Factorization::factor(&cols).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let mut x = Vec::new();
+        f.ftran(&b, &mut x);
+        let back = dense_mul(&cols, &x);
+        for (a, e) in back.iter().zip(&b) {
+            assert!((a - e).abs() < 1e-10, "{back:?} != {b:?}");
+        }
+        let mut y = Vec::new();
+        f.btran(&b, &mut y);
+        let back = dense_tmul(&cols, &y);
+        for (a, e) in back.iter().zip(&b) {
+            assert!((a - e).abs() < 1e-10, "{back:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let cols = vec![vec![(0, 1.0), (1, 1.0)], vec![(0, 2.0), (1, 2.0)]];
+        assert_eq!(Factorization::factor(&cols).unwrap_err(), Singular);
+    }
+
+    #[test]
+    fn eta_update_matches_refactorization() {
+        let mut cols = vec![
+            vec![(0, 2.0), (1, 1.0)],
+            vec![(1, 3.0)],
+            vec![(0, 1.0), (2, 1.0)],
+        ];
+        let mut f = Factorization::factor(&cols).unwrap();
+        // Replace slot 1's column with a_q.
+        let a_q = vec![(0, 1.0), (1, 1.0), (2, 1.0)];
+        let mut dense_q = vec![0.0; 3];
+        for &(r, v) in &a_q {
+            dense_q[r] = v;
+        }
+        let mut w = Vec::new();
+        f.ftran(&dense_q, &mut w);
+        f.update(1, &w).unwrap();
+        cols[1] = a_q;
+        let fresh = Factorization::factor(&cols).unwrap();
+        let b = vec![5.0, -2.0, 1.0];
+        let (mut x1, mut x2) = (Vec::new(), Vec::new());
+        f.ftran(&b, &mut x1);
+        fresh.ftran(&b, &mut x2);
+        for (a, e) in x1.iter().zip(&x2) {
+            assert!((a - e).abs() < 1e-10, "{x1:?} != {x2:?}");
+        }
+        let (mut y1, mut y2) = (Vec::new(), Vec::new());
+        f.btran(&b, &mut y1);
+        fresh.btran(&b, &mut y2);
+        for (a, e) in y1.iter().zip(&y2) {
+            assert!((a - e).abs() < 1e-10, "{y1:?} != {y2:?}");
+        }
+    }
+
+    #[test]
+    fn full_eta_file_requests_refactor() {
+        let cols: Vec<Vec<(usize, f64)>> = (0..2).map(|i| vec![(i, 1.0)]).collect();
+        let mut f = Factorization::factor(&cols).unwrap();
+        let w = vec![1.0, 0.5];
+        for _ in 0..REFACTOR_EVERY {
+            f.update(0, &w).unwrap();
+        }
+        assert_eq!(f.update(0, &w).unwrap_err(), NeedsRefactor);
+    }
+}

@@ -388,6 +388,18 @@ impl Model {
         };
         branch_bound::solve(self, &cfg)
     }
+
+    /// Solves with full control over the branch-and-bound configuration:
+    /// LP engine, worker count, node limit, branching rule and the
+    /// anti-cycling switch. Results are byte-identical at any worker count
+    /// and across the warm-started and cold revised engines.
+    ///
+    /// # Errors
+    ///
+    /// As for [`solve`](Self::solve).
+    pub fn solve_with_config(&self, cfg: &crate::BbConfig) -> Result<Solution, SolveError> {
+        branch_bound::solve(self, cfg)
+    }
 }
 
 #[cfg(test)]

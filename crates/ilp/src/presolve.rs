@@ -242,9 +242,23 @@ pub fn propagate_bounds_once(
     kinds: &[VarKind],
     bounds: &mut [(f64, f64)],
 ) -> Result<bool, SolveError> {
+    let mut tightenings = 0u64;
+    let res = propagate_bounds_quiet(constraints, kinds, bounds, &mut tightenings);
+    obs::add("ilp.presolve.tightenings", tightenings);
+    res
+}
+
+/// [`propagate_bounds_once`] without metrics recording. The branch-and-bound
+/// sequencer uses this at node level and records the counts itself, so the
+/// observation stream stays identical at any worker count.
+pub(crate) fn propagate_bounds_quiet(
+    constraints: &[SparseRow],
+    kinds: &[VarKind],
+    bounds: &mut [(f64, f64)],
+    tightenings: &mut u64,
+) -> Result<bool, SolveError> {
     const TOL: f64 = 1e-9;
     let mut changed = false;
-    let mut tightenings = 0u64;
     for (terms, cmp, rhs) in constraints {
         // Pre-compute each term's activity range.
         let ranges: Vec<(f64, f64)> = terms
@@ -287,7 +301,7 @@ pub fn propagate_bounds_once(
                 }
                 if l > bounds[j].0 + TOL || u < bounds[j].1 - TOL {
                     changed = true;
-                    tightenings += 1;
+                    *tightenings += 1;
                 }
                 bounds[j] = (l.max(bounds[j].0), u.min(bounds[j].1));
             };
@@ -297,25 +311,18 @@ pub fn propagate_bounds_once(
                 Cmp::Eq => apply(Some(rhs - rest_min), Some(rhs - rest_max)),
             }
             if bounds[j].0 > bounds[j].1 + TOL {
-                obs::add("ilp.presolve.tightenings", tightenings);
                 return Err(SolveError::Infeasible);
             }
         }
     }
-    obs::add("ilp.presolve.tightenings", tightenings);
     Ok(changed)
 }
 
-/// Runs bound propagation to a fixpoint (bounded number of passes) over a
-/// [`Model`], returning the tightened per-variable bounds.
-///
-/// # Errors
-///
-/// [`SolveError::Infeasible`] when propagation proves the model infeasible.
-pub fn tightened_bounds(model: &Model) -> Result<Vec<(f64, f64)>, SolveError> {
-    let mut bounds: Vec<(f64, f64)> = model.vars.iter().map(|v| (v.lb, v.ub)).collect();
-    let kinds: Vec<VarKind> = model.vars.iter().map(|v| v.kind).collect();
-    let constraints: Vec<SparseRow> = model
+/// Extracts a model's constraints as [`SparseRow`]s keyed by
+/// [`Var::index`]. Shared by root bound tightening and the branch-and-bound
+/// node presolve.
+pub(crate) fn model_rows(model: &Model) -> Vec<SparseRow> {
+    model
         .constraints
         .iter()
         .map(|c| {
@@ -325,12 +332,282 @@ pub fn tightened_bounds(model: &Model) -> Result<Vec<(f64, f64)>, SolveError> {
                 c.rhs,
             )
         })
-        .collect();
+        .collect()
+}
+
+/// Number of variables whose domain is a single point.
+pub(crate) fn count_fixed(bounds: &[(f64, f64)]) -> usize {
+    bounds.iter().filter(|&&(l, u)| u - l <= 1e-9).count()
+}
+
+/// A link row `sum w_k b_k - c x == 0` tying a target variable to a one-hot
+/// group: choosing member `k` forces `x` to its implied value, choosing an
+/// unlisted member forces `x = 0`.
+#[derive(Debug, Clone)]
+struct LinkRow {
+    /// `(member, implied target value)`, ascending member index.
+    implied: Vec<(usize, f64)>,
+    /// Group members absent from the row (implied target value `0`).
+    unlisted: Vec<usize>,
+    target: usize,
+}
+
+/// One-hot groups and link rows detected in a model.
+///
+/// The reconstruction ILP (paper Sec. II-C) encodes each unknown tile
+/// position with a one-hot binary group (`sum b = 1`) plus link rows mapping
+/// the selected binary to the integer row/column value. Interval arithmetic
+/// alone cannot reason across the selection, but the structure allows strong
+/// inference: a member whose implied target value falls outside the target's
+/// domain can be fixed to zero, and the target's domain shrinks to the range
+/// of surviving alternatives. Detection is a pure function of the model, so
+/// the structure can be computed once at the root and reused at every
+/// branch-and-bound node.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct IndicatorStructure {
+    /// One-hot groups: ascending member indices.
+    groups: Vec<Vec<usize>>,
+    links: Vec<LinkRow>,
+}
+
+impl IndicatorStructure {
+    /// Scans `constraints` for one-hot rows (`sum b == 1`, all-binary unit
+    /// coefficients) and link rows (`== 0`, exactly one non-group term).
+    pub fn detect(constraints: &[SparseRow], kinds: &[VarKind], n: usize) -> Self {
+        let mut group_of = vec![usize::MAX; n];
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (terms, cmp, rhs) in constraints {
+            if *cmp != Cmp::Eq || *rhs != 1.0 || terms.len() < 2 {
+                continue;
+            }
+            let one_hot = terms.iter().all(|&(j, a)| {
+                a == 1.0 && kinds[j] == VarKind::Binary && group_of[j] == usize::MAX
+            });
+            if !one_hot {
+                continue;
+            }
+            let mut members: Vec<usize> = terms.iter().map(|&(j, _)| j).collect();
+            members.sort_unstable();
+            for &j in &members {
+                group_of[j] = groups.len();
+            }
+            groups.push(members);
+        }
+        let mut links = Vec::new();
+        for (terms, cmp, rhs) in constraints {
+            if *cmp != Cmp::Eq || *rhs != 0.0 || terms.len() < 2 {
+                continue;
+            }
+            let mut group = usize::MAX;
+            let mut target: Option<(usize, f64)> = None;
+            let mut weights: Vec<(usize, f64)> = Vec::new();
+            let mut ok = true;
+            for &(j, a) in terms {
+                if a == 0.0 {
+                    ok = false;
+                    break;
+                }
+                let g = group_of[j];
+                if g == usize::MAX {
+                    if target.is_some() {
+                        ok = false;
+                        break;
+                    }
+                    target = Some((j, a));
+                } else {
+                    if group == usize::MAX {
+                        group = g;
+                    }
+                    if g != group {
+                        ok = false;
+                        break;
+                    }
+                    weights.push((j, a));
+                }
+            }
+            let Some((target, c)) = target else { continue };
+            if !ok || weights.is_empty() || group == usize::MAX {
+                continue;
+            }
+            // w_k b_k + c x == 0 picks x = -w_k / c when member k is chosen.
+            let mut implied: Vec<(usize, f64)> =
+                weights.iter().map(|&(j, w)| (j, -w / c)).collect();
+            implied.sort_unstable_by_key(|&(j, _)| j);
+            let listed: BTreeSet<usize> = implied.iter().map(|&(j, _)| j).collect();
+            let unlisted: Vec<usize> = groups[group]
+                .iter()
+                .copied()
+                .filter(|j| !listed.contains(j))
+                .collect();
+            links.push(LinkRow {
+                implied,
+                unlisted,
+                target,
+            });
+        }
+        Self { groups, links }
+    }
+
+    /// One round of indicator propagation over `bounds`. Returns whether
+    /// anything changed; obs-free (the caller owns metric recording).
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] when a one-hot group empties or a target
+    /// domain becomes empty.
+    pub fn propagate(
+        &self,
+        kinds: &[VarKind],
+        bounds: &mut [(f64, f64)],
+        tightenings: &mut u64,
+    ) -> Result<bool, SolveError> {
+        const TOL: f64 = 1e-9;
+        let mut changed = false;
+        for members in &self.groups {
+            let mut forced = usize::MAX;
+            for &j in members {
+                if bounds[j].0 > 0.5 {
+                    if forced != usize::MAX {
+                        return Err(SolveError::Infeasible);
+                    }
+                    forced = j;
+                }
+            }
+            if forced != usize::MAX {
+                for &j in members {
+                    if j != forced && bounds[j].1 > 0.5 {
+                        bounds[j].1 = 0.0;
+                        changed = true;
+                        *tightenings += 1;
+                    }
+                }
+            }
+            let alive: Vec<usize> = members
+                .iter()
+                .copied()
+                .filter(|&j| bounds[j].1 > 0.5)
+                .collect();
+            if alive.is_empty() {
+                return Err(SolveError::Infeasible);
+            }
+            if alive.len() == 1 && bounds[alive[0]].0 < 0.5 {
+                bounds[alive[0]].0 = 1.0;
+                changed = true;
+                *tightenings += 1;
+            }
+        }
+        for link in &self.links {
+            let (tl, tu) = bounds[link.target];
+            // Kill members whose implied target value cannot be realized.
+            for &(j, v) in &link.implied {
+                if bounds[j].1 > 0.5 && (v < tl - TOL || v > tu + TOL) {
+                    if bounds[j].0 > 0.5 {
+                        return Err(SolveError::Infeasible);
+                    }
+                    bounds[j].1 = 0.0;
+                    changed = true;
+                    *tightenings += 1;
+                }
+            }
+            if 0.0 < tl - TOL || 0.0 > tu + TOL {
+                for &j in &link.unlisted {
+                    if bounds[j].1 > 0.5 {
+                        if bounds[j].0 > 0.5 {
+                            return Err(SolveError::Infeasible);
+                        }
+                        bounds[j].1 = 0.0;
+                        changed = true;
+                        *tightenings += 1;
+                    }
+                }
+            }
+            // The target is confined to the surviving alternatives' range.
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &(j, v) in &link.implied {
+                if bounds[j].1 > 0.5 {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+            if link.unlisted.iter().any(|&j| bounds[j].1 > 0.5) {
+                lo = lo.min(0.0);
+                hi = hi.max(0.0);
+            }
+            if lo > hi {
+                return Err(SolveError::Infeasible);
+            }
+            let mut nl = tl.max(lo);
+            let mut nu = tu.min(hi);
+            if matches!(kinds[link.target], VarKind::Integer | VarKind::Binary) {
+                nl = (nl - TOL).ceil();
+                nu = (nu + TOL).floor();
+            }
+            if nl > tl + TOL || nu < tu - TOL {
+                changed = true;
+                *tightenings += 1;
+            }
+            bounds[link.target] = (nl.max(tl), nu.min(tu));
+            if bounds[link.target].0 > bounds[link.target].1 + TOL {
+                return Err(SolveError::Infeasible);
+            }
+        }
+        Ok(changed)
+    }
+}
+
+/// Runs interval and indicator propagation to a fixpoint (bounded passes),
+/// obs-free. The branch-and-bound sequencer calls this per node and records
+/// the accumulated counts itself.
+///
+/// # Errors
+///
+/// [`SolveError::Infeasible`] when propagation proves the bounds infeasible.
+pub(crate) fn tighten_quiet(
+    constraints: &[SparseRow],
+    kinds: &[VarKind],
+    structure: &IndicatorStructure,
+    bounds: &mut [(f64, f64)],
+    tightenings: &mut u64,
+) -> Result<(), SolveError> {
     for _ in 0..16 {
-        if !propagate_bounds_once(&constraints, &kinds, &mut bounds)? {
+        let a = propagate_bounds_quiet(constraints, kinds, bounds, tightenings)?;
+        let b = structure.propagate(kinds, bounds, tightenings)?;
+        if !a && !b {
             break;
         }
     }
+    Ok(())
+}
+
+/// Runs bound propagation — interval arithmetic plus one-hot / link-row
+/// indicator inference — to a fixpoint (bounded number of passes) over a
+/// [`Model`], returning the tightened per-variable bounds. Records
+/// `ilp.presolve.tightenings` and `ilp.presolve.vars_fixed`.
+///
+/// # Errors
+///
+/// [`SolveError::Infeasible`] when propagation proves the model infeasible.
+pub fn tightened_bounds(model: &Model) -> Result<Vec<(f64, f64)>, SolveError> {
+    let mut bounds: Vec<(f64, f64)> = model.vars.iter().map(|v| (v.lb, v.ub)).collect();
+    let kinds: Vec<VarKind> = model.vars.iter().map(|v| v.kind).collect();
+    let constraints = model_rows(model);
+    let structure = IndicatorStructure::detect(&constraints, &kinds, model.var_count());
+    let fixed_before = count_fixed(&bounds);
+    let mut tightenings = 0u64;
+    let res = tighten_quiet(
+        &constraints,
+        &kinds,
+        &structure,
+        &mut bounds,
+        &mut tightenings,
+    );
+    obs::add("ilp.presolve.tightenings", tightenings);
+    res?;
+    obs::add(
+        "ilp.presolve.vars_fixed",
+        count_fixed(&bounds).saturating_sub(fixed_before) as u64,
+    );
     Ok(bounds)
 }
 
@@ -472,6 +749,78 @@ mod tests {
         m.constraint(m.expr().term(2.0, x), Cmp::Le, 7.0);
         let b = tightened_bounds(&m).unwrap();
         assert_eq!(b[x.index()], (0.0, 3.0));
+    }
+
+    #[test]
+    fn link_row_prunes_one_hot_members_outside_target_domain() {
+        // One-hot {b0, b1, b2}; x = 2 b0 + 5 b1 + 9 b2 with x in [4, 8].
+        // Values 2 and 9 are unreachable, so b0 and b2 die, b1 is forced,
+        // and x collapses to 5. Plain interval arithmetic cannot see this.
+        let mut m = Model::new();
+        let b0 = m.bin_var("b0");
+        let b1 = m.bin_var("b1");
+        let b2 = m.bin_var("b2");
+        let x = m.int_var("x", 4, 8);
+        m.constraint(
+            m.expr().term(1.0, b0).term(1.0, b1).term(1.0, b2),
+            Cmp::Eq,
+            1.0,
+        );
+        m.constraint(
+            m.expr()
+                .term(1.0, x)
+                .term(-2.0, b0)
+                .term(-5.0, b1)
+                .term(-9.0, b2),
+            Cmp::Eq,
+            0.0,
+        );
+        let b = tightened_bounds(&m).unwrap();
+        assert_eq!(b[b0.index()], (0.0, 0.0));
+        assert_eq!(b[b1.index()], (1.0, 1.0));
+        assert_eq!(b[b2.index()], (0.0, 0.0));
+        assert_eq!(b[x.index()], (5.0, 5.0));
+    }
+
+    #[test]
+    fn link_row_kills_unlisted_members_when_zero_unreachable() {
+        // b2 is in the group but absent from the link row: choosing it means
+        // x = 0, impossible with x in [3, 4], so b2 must be 0.
+        let mut m = Model::new();
+        let b0 = m.bin_var("b0");
+        let b1 = m.bin_var("b1");
+        let b2 = m.bin_var("b2");
+        let x = m.int_var("x", 3, 4);
+        m.constraint(
+            m.expr().term(1.0, b0).term(1.0, b1).term(1.0, b2),
+            Cmp::Eq,
+            1.0,
+        );
+        m.constraint(
+            m.expr().term(1.0, x).term(-3.0, b0).term(-4.0, b1),
+            Cmp::Eq,
+            0.0,
+        );
+        let b = tightened_bounds(&m).unwrap();
+        assert_eq!(b[b2.index()], (0.0, 0.0));
+        assert_eq!(b[b0.index()], (0.0, 1.0));
+        assert_eq!(b[b1.index()], (0.0, 1.0));
+    }
+
+    #[test]
+    fn one_hot_with_two_forced_members_is_infeasible() {
+        let mut m = Model::new();
+        let b0 = m.bin_var("b0");
+        let b1 = m.bin_var("b1");
+        let b2 = m.bin_var("b2");
+        m.constraint(
+            m.expr().term(1.0, b0).term(1.0, b1).term(1.0, b2),
+            Cmp::Eq,
+            1.0,
+        );
+        m.constraint(m.expr().term(1.0, b0), Cmp::Ge, 1.0);
+        m.constraint(m.expr().term(1.0, b1), Cmp::Ge, 1.0);
+        assert_eq!(tightened_bounds(&m).unwrap_err(), SolveError::Infeasible);
     }
 
     #[test]

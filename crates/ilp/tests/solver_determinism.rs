@@ -1,0 +1,100 @@
+//! Property tests: the revised-simplex branch & bound returns *byte-identical*
+//! solutions whatever the engine configuration — warm-started or cold, serial
+//! or speculative-parallel. The canonical answer is the cold serial solve;
+//! every other configuration must reproduce its variable values bit-for-bit.
+
+use coremap_ilp::{BbConfig, Cmp, LpEngine, Model, SolveError, Var};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomMilp {
+    n_vars: usize,
+    /// Per-constraint: coefficients, cmp selector, rhs.
+    constraints: Vec<(Vec<i8>, u8, i8)>,
+    objective: Vec<i8>,
+}
+
+fn milp_strategy() -> impl Strategy<Value = RandomMilp> {
+    (2usize..=6).prop_flat_map(|n_vars| {
+        let constraint = (prop::collection::vec(-4i8..=4, n_vars), 0u8..3, -6i8..=10);
+        (
+            prop::collection::vec(constraint, 1..=5),
+            prop::collection::vec(-5i8..=5, n_vars),
+        )
+            .prop_map(move |(constraints, objective)| RandomMilp {
+                n_vars,
+                constraints,
+                objective,
+            })
+    })
+}
+
+fn build(m: &RandomMilp) -> (Model, Vec<Var>) {
+    let mut model = Model::new();
+    let vars: Vec<_> = (0..m.n_vars)
+        .map(|j| model.bin_var(&format!("b{j}")))
+        .collect();
+    for (coeffs, cmp, rhs) in &m.constraints {
+        let mut e = model.expr();
+        for (j, &c) in coeffs.iter().enumerate() {
+            e = e.term(c as f64, vars[j]);
+        }
+        let cmp = match cmp % 3 {
+            0 => Cmp::Le,
+            1 => Cmp::Ge,
+            _ => Cmp::Eq,
+        };
+        model.constraint(e, cmp, *rhs as f64);
+    }
+    let mut obj = model.expr();
+    for (j, &c) in m.objective.iter().enumerate() {
+        obj = obj.term(c as f64, vars[j]);
+    }
+    model.minimize(obj);
+    (model, vars)
+}
+
+/// Solves under one configuration and fingerprints the answer exactly:
+/// every variable value and the objective as raw f64 bits.
+fn fingerprint(
+    m: &RandomMilp,
+    engine: LpEngine,
+    workers: usize,
+) -> Result<(Vec<u64>, u64), SolveError> {
+    let (model, vars) = build(m);
+    let cfg = BbConfig {
+        engine,
+        workers,
+        ..BbConfig::default()
+    };
+    let sol = model.solve_with_config(&cfg)?;
+    let bits: Vec<u64> = vars.iter().map(|&v| sol.value(v).to_bits()).collect();
+    Ok((bits, sol.objective().to_bits()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn warm_and_parallel_solves_are_byte_identical_to_cold_serial(m in milp_strategy()) {
+        let canonical = fingerprint(&m, LpEngine::RevisedCold, 1);
+        for (engine, workers) in [
+            (LpEngine::RevisedWarm, 1),
+            (LpEngine::RevisedWarm, 4),
+            (LpEngine::RevisedCold, 8),
+        ] {
+            let got = fingerprint(&m, engine, workers);
+            match (&canonical, &got) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(
+                    a, b,
+                    "{:?} x{} diverged from cold serial", engine, workers
+                ),
+                (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+                (a, b) => prop_assert!(
+                    false,
+                    "outcome mismatch: cold serial {:?}, {:?} x{} {:?}", a, engine, workers, b
+                ),
+            }
+        }
+    }
+}

@@ -128,6 +128,46 @@ fn replayed_campaign_reproduces_the_recorded_counters() {
     assert_eq!(replay_reg.counter_value("core.replay.divergences"), 0);
 }
 
+/// Maps one full SkylakeXcc machine with the given ILP worker count and
+/// returns the rendered map plus the deterministic metric snapshot.
+fn ilp_worker_snapshot(ilp_workers: usize) -> (String, String) {
+    use core_map::core::MapperConfig;
+
+    let reg = Arc::new(obs::Registry::new());
+    let rendered = {
+        let _guard = obs::install(reg.clone());
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .build()
+            .expect("floorplan");
+        let mut machine = XeonMachine::new(plan, MachineConfig::default());
+        let mapper = CoreMapper::with_config(MapperConfig {
+            ilp_workers,
+            ..MapperConfig::default()
+        });
+        mapper.map(&mut machine).expect("map").render()
+    };
+    (rendered, reg.to_json(false))
+}
+
+#[test]
+fn ilp_worker_count_changes_neither_map_nor_metrics() {
+    // The speculative parallel branch & bound must be invisible in every
+    // output: same placement, same metric stream, at any worker count.
+    let (serial_map, serial_metrics) = ilp_worker_snapshot(1);
+    let (parallel_map, parallel_metrics) = ilp_worker_snapshot(8);
+    assert_eq!(
+        serial_map, parallel_map,
+        "ILP worker count must not change the recovered map"
+    );
+    assert_eq!(
+        serial_metrics, parallel_metrics,
+        "ILP worker count must not leak into the deterministic snapshot"
+    );
+    for key in ["ilp.bb.nodes", "ilp.simplex.pivots"] {
+        assert!(serial_metrics.contains(key), "missing {key}");
+    }
+}
+
 /// Solves a presolve-heavy reconstruction — the literal per-tile/per-path
 /// formulation on an irregular floorplan — and returns the deterministic
 /// snapshot. The full formulation funnels every observation through
