@@ -36,13 +36,16 @@ const LIBRARY_CRATES: [&str; 7] = ["mesh", "obs", "uncore", "ilp", "thermal", "c
 /// * `crates/obs/src` — the deterministic metrics export itself.
 /// * `crates/core/src/backend/replay.rs`, `trace.rs` — replay must issue
 ///   the recorded operations in the recorded order.
-const DETERMINISTIC_PATHS: [&str; 6] = [
+/// * `crates/core/src/topology_select.rs` — hypothesis scoring order and
+///   tie-breaking decide which topology a fleet record reports.
+const DETERMINISTIC_PATHS: [&str; 7] = [
     "crates/ilp/src",
     "crates/mesh/src",
     "crates/core/src/ilp_model.rs",
     "crates/obs/src",
     "crates/core/src/backend/replay.rs",
     "crates/core/src/backend/trace.rs",
+    "crates/core/src/topology_select.rs",
 ];
 
 /// The crate owning the raw MSR/PMON machine model. Only files under this
@@ -131,6 +134,7 @@ mod tests {
         assert!(is_deterministic_path("crates/core/src/ilp_model.rs"));
         assert!(is_deterministic_path("crates/obs/src/json.rs"));
         assert!(is_deterministic_path("crates/core/src/backend/replay.rs"));
+        assert!(is_deterministic_path("crates/core/src/topology_select.rs"));
         assert!(!is_deterministic_path("crates/core/src/mapper.rs"));
         assert!(!is_deterministic_path("crates/fleet/src/runner.rs"));
         assert!(!is_deterministic_path("crates/uncore/src/machine.rs"));

@@ -26,7 +26,8 @@ fn dense_block_plan() -> Floorplan {
         .collect();
     let disable = t
         .core_capable_positions()
-        .into_iter()
+        .iter()
+        .copied()
         .filter(|p| !keep.contains(p));
     FloorplanBuilder::new(t)
         .disable_all(disable)

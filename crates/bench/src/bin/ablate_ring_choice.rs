@@ -88,6 +88,9 @@ fn main() {
          choice is what makes the ping-pong generator's single-directed-path\n\
          assumption hold, and on real silicon the data ring also carries the\n\
          full cache-line payload (64 B vs a header flit), giving far stronger\n\
-         occupancy signal per transfer."
+         occupancy signal per transfer.\n"
     );
+    // Ring the *interconnect*, not just ring the *counter class*: the
+    // deterministic appendix pins the zoo's ring-discipline behavior.
+    print!("{}", coremap_bench::ring_discipline_report());
 }

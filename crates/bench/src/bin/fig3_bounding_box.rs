@@ -25,7 +25,8 @@ fn main() {
         .collect();
     let disable: Vec<TileCoord> = t
         .core_capable_positions()
-        .into_iter()
+        .iter()
+        .copied()
         .filter(|p| !keep.contains(p))
         .collect();
     let plan = FloorplanBuilder::new(t)

@@ -287,6 +287,59 @@ pub fn random_bits(n: usize, seed: u64) -> Vec<bool> {
     (0..n).map(|_| rng.gen()).collect()
 }
 
+/// Deterministic ring-discipline report: runs topology hypothesis
+/// selection over the builtin zoo against a synthetic trace of the
+/// `ring-28` topology and renders the per-hypothesis verdicts. The
+/// appendix of `results/ablate_ring.txt` pins this output byte-for-byte
+/// (regression test `ablate_ring_regression`), so everything here must
+/// stay free of timing and randomness.
+pub fn ring_discipline_report() -> String {
+    use std::fmt::Write;
+
+    use coremap_core::topology_select;
+    use coremap_core::ObservationSet;
+    use coremap_mesh::{FloorplanBuilder, Topology};
+
+    let ring = Topology::builtin("ring-28").expect("builtin ring topology");
+    let plan = FloorplanBuilder::from_topology(ring.clone())
+        .build()
+        .expect("ring floorplan builds");
+    let obs = ObservationSet::synthetic(&plan);
+    let zoo: Vec<Topology> = Topology::builtins().iter().map(|&t| t.clone()).collect();
+    let sel = topology_select::select(&obs, &zoo, coremap_core::SolveOptions::default());
+
+    let mut out = String::new();
+    let _ = writeln!(out, "== Appendix: ring-discipline regression ==");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "hypothesis selection over the builtin zoo on a synthetic ring-28\n\
+         trace ({} directed paths):",
+        obs.paths.len()
+    );
+    for s in &sel.scores {
+        match &s.eliminated_by {
+            Some(why) => {
+                let _ = writeln!(out, "  {:<20} eliminated: {why}", s.name);
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  {:<20} fits (explains {:.0}% of paths)",
+                    s.name,
+                    s.explained * 100.0
+                );
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "winner: {}",
+        sel.winner_name().unwrap_or("none (all eliminated)")
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

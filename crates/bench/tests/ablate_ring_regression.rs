@@ -1,0 +1,21 @@
+//! Pins the ring-discipline appendix of `results/ablate_ring.txt`.
+//!
+//! The appendix is the deterministic part of the ablation output
+//! (hypothesis-selection verdicts over the builtin zoo on a ring trace);
+//! the timing columns above it are regenerated per run and cannot be
+//! pinned. If the zoo, the ring solver or the elimination messages
+//! change, regenerate the file with
+//! `cargo run -p coremap-bench --bin ablate_ring_choice`.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+#[test]
+fn ring_discipline_appendix_matches_results_file() {
+    let report = coremap_bench::ring_discipline_report();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/ablate_ring.txt");
+    let file = std::fs::read_to_string(path).expect("results/ablate_ring.txt exists");
+    assert!(
+        file.ends_with(&report),
+        "results/ablate_ring.txt appendix is stale; expected it to end with:\n{report}"
+    );
+}

@@ -28,6 +28,12 @@ COMMAND OPTIONS:
               --harden              aggressive fault tolerance (MSR retry,
                                     median-of-3 counters, degradation)
               --ilp-workers <N>     ILP branch-and-bound threads [default: 1]
+              --topology <N|FILE>   reconstruct under one topology hypothesis:
+                                    a builtin name (e.g. skylake-xcc) or a
+                                    coremap-topology/v1 JSON file
+              --topology-set <SET>  test a hypothesis set and keep the best
+                                    fit: 'zoo' (all builtins) or a comma list
+                                    of names/files
     show:     --registry <FILE>     registry to read (required)
               --ppin <HEX>          render only this chip
     fleet:    --instances <N>       instances to survey [default: 10]
@@ -36,6 +42,8 @@ COMMAND OPTIONS:
               --harden              aggressive fault tolerance per instance
               --ilp-workers <N>     ILP threads per instance (idle mapping
                                     workers are redistributed automatically)
+              --topology <N|FILE>   per-instance topology hypothesis
+              --topology-set <SET>  per-instance hypothesis selection
     channel:  --message <TEXT>      payload              [default: hello]
               --rate <BPS>          bit rate             [default: 2]
               --senders <N>         sender count         [default: 1]
@@ -53,6 +61,8 @@ pub enum Command {
         metrics: Option<String>,
         harden: bool,
         ilp_workers: usize,
+        topology: Option<String>,
+        topology_set: Option<String>,
     },
     /// Render stored maps.
     Show { registry: String, ppin: Option<u64> },
@@ -65,6 +75,8 @@ pub enum Command {
         metrics: Option<String>,
         harden: bool,
         ilp_workers: usize,
+        topology: Option<String>,
+        topology_set: Option<String>,
     },
     /// Thermal covert channel transfer.
     Channel {
@@ -128,6 +140,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut senders = 1usize;
     let mut harden = false;
     let mut ilp_workers = 1usize;
+    let mut topology: Option<String> = None;
+    let mut topology_set: Option<String> = None;
 
     let mut o = Opts { args, pos: 0 };
     while o.pos + 1 < args.len() {
@@ -178,6 +192,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .parse()
                     .map_err(|_| "--ilp-workers must be a number".to_string())?
             }
+            "--topology" => topology = Some(o.value("--topology")?),
+            "--topology-set" => topology_set = Some(o.value("--topology-set")?),
             "--message" => message = o.value("--message")?,
             "--rate" => {
                 rate = o
@@ -204,6 +220,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             metrics,
             harden,
             ilp_workers,
+            topology,
+            topology_set,
         }),
         "show" => Ok(Command::Show {
             registry: registry.ok_or("show requires --registry <FILE>")?,
@@ -217,6 +235,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             metrics,
             harden,
             ilp_workers,
+            topology,
+            topology_set,
         }),
         "channel" => Ok(Command::Channel {
             model,
@@ -252,7 +272,9 @@ mod tests {
                 registry: None,
                 metrics: None,
                 harden: false,
-                ilp_workers: 1
+                ilp_workers: 1,
+                topology: None,
+                topology_set: None
             }
         );
     }
@@ -347,7 +369,9 @@ mod tests {
                 workers: Some(3),
                 metrics: None,
                 harden: false,
-                ilp_workers: 1
+                ilp_workers: 1,
+                topology: None,
+                topology_set: None
             }
         );
         assert!(matches!(
@@ -371,6 +395,28 @@ mod tests {
             }
         ));
         assert!(parse(&argv("map --ilp-workers nope")).is_err());
+    }
+
+    #[test]
+    fn topology_flags_parse_on_map_and_fleet() {
+        assert!(matches!(
+            parse(&argv("map --topology skylake-xcc")).unwrap(),
+            Command::Map { topology: Some(ref t), topology_set: None, .. } if t == "skylake-xcc"
+        ));
+        assert!(matches!(
+            parse(&argv("map --topology-set zoo")).unwrap(),
+            Command::Map { topology: None, topology_set: Some(ref s), .. } if s == "zoo"
+        ));
+        assert!(matches!(
+            parse(&argv("fleet --topology-set zoo --instances 2")).unwrap(),
+            Command::Fleet { topology_set: Some(ref s), instances: 2, .. } if s == "zoo"
+        ));
+        assert!(matches!(
+            parse(&argv("fleet --topology custom.json")).unwrap(),
+            Command::Fleet { topology: Some(ref t), .. } if t == "custom.json"
+        ));
+        assert!(parse(&argv("map --topology")).is_err());
+        assert!(parse(&argv("map --topology-set")).is_err());
     }
 
     #[test]

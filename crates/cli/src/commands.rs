@@ -5,9 +5,9 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::sync::Arc;
 
-use coremap_core::{verify, CoreMapper};
+use coremap_core::{verify, CoreMapper, MapQuality};
 use coremap_fleet::{CloudFleet, CloudInstance, CpuModel, FleetRunner, MapRegistry, SurveyStats};
-use coremap_mesh::{OsCoreId, Ppin};
+use coremap_mesh::{OsCoreId, Ppin, Topology};
 use coremap_obs as obs;
 use coremap_thermal::encoding::{bits_to_bytes, bytes_to_bits};
 use coremap_thermal::power::ThermalNoise;
@@ -32,7 +32,21 @@ pub fn run(cmd: Command) -> CliResult {
             metrics,
             harden,
             ilp_workers,
-        } => map(model, index, seed, registry, metrics, harden, ilp_workers),
+            topology,
+            topology_set,
+        } => {
+            let hypotheses = build_hypotheses(model, &topology, &topology_set)?;
+            map(
+                model,
+                index,
+                seed,
+                registry,
+                metrics,
+                harden,
+                ilp_workers,
+                hypotheses,
+            )
+        }
         Command::Show { registry, ppin } => show(&registry, ppin),
         Command::Fleet {
             model,
@@ -42,15 +56,21 @@ pub fn run(cmd: Command) -> CliResult {
             metrics,
             harden,
             ilp_workers,
-        } => fleet_survey(
-            model,
-            instances,
-            seed,
-            workers,
-            metrics,
-            harden,
-            ilp_workers,
-        ),
+            topology,
+            topology_set,
+        } => {
+            let hypotheses = build_hypotheses(model, &topology, &topology_set)?;
+            fleet_survey(
+                model,
+                instances,
+                seed,
+                workers,
+                metrics,
+                harden,
+                ilp_workers,
+                hypotheses,
+            )
+        }
         Command::Channel {
             model,
             index,
@@ -63,7 +83,77 @@ pub fn run(cmd: Command) -> CliResult {
     }
 }
 
-fn mapper_for(harden: bool, ilp_workers: usize) -> CoreMapper {
+/// Resolves one `--topology` operand: a builtin zoo name first, otherwise a
+/// path to a `coremap-topology/v1` JSON file.
+fn resolve_topology(spec: &str) -> Result<Topology, Box<dyn Error>> {
+    if let Some(t) = Topology::builtin(spec) {
+        return Ok(t.clone());
+    }
+    let json = std::fs::read_to_string(spec)
+        .map_err(|e| format!("'{spec}' is neither a builtin topology nor a readable file: {e}"))?;
+    Ok(Topology::from_json(&json)?)
+}
+
+/// Builds the hypothesis set from the `--topology`/`--topology-set` flags.
+/// Empty means "paper-literal reconstruction on the model's own grid". The
+/// `zoo` set lists the model's declared topology first so that perfect ties
+/// (SKX vs CLX share a geometry) resolve to the declared die.
+fn build_hypotheses(
+    model: CpuModel,
+    topology: &Option<String>,
+    topology_set: &Option<String>,
+) -> Result<Vec<Topology>, Box<dyn Error>> {
+    match (topology, topology_set) {
+        (Some(_), Some(_)) => Err("--topology and --topology-set are mutually exclusive".into()),
+        (Some(one), None) => Ok(vec![resolve_topology(one)?]),
+        (None, Some(set)) if set == "zoo" => {
+            let declared = model.topology();
+            let mut out = vec![declared.clone()];
+            out.extend(
+                Topology::builtins()
+                    .iter()
+                    .filter(|t| t.name() != declared.name())
+                    .map(|t| (*t).clone()),
+            );
+            Ok(out)
+        }
+        (None, Some(set)) => set.split(',').map(|s| resolve_topology(s.trim())).collect(),
+        (None, None) => Ok(Vec::new()),
+    }
+}
+
+/// Prints the per-hypothesis verdict table of a selection run.
+fn print_hypothesis_scores(quality: &MapQuality) {
+    if quality.hypothesis_scores.is_empty() {
+        return;
+    }
+    let eliminated = quality
+        .hypothesis_scores
+        .iter()
+        .filter(|s| !s.survives())
+        .count();
+    println!(
+        "topology hypotheses: {} tested, {eliminated} eliminated",
+        quality.hypothesis_scores.len()
+    );
+    for s in &quality.hypothesis_scores {
+        match &s.eliminated_by {
+            Some(why) => println!("  {:<20} eliminated: {why}", s.name),
+            None => println!(
+                "  {:<20} fits (explains {:.0}% of paths, objective {:.1})",
+                s.name,
+                s.explained * 100.0,
+                s.objective
+            ),
+        }
+    }
+    match &quality.winning_topology {
+        Some(w) => println!("winning topology: {w}"),
+        None => println!("winning topology: none (all hypotheses eliminated)"),
+    }
+}
+
+fn mapper_for(harden: bool, ilp_workers: usize, hypotheses: Vec<Topology>) -> CoreMapper {
     let base = if harden {
         CoreMapper::hardened()
     } else {
@@ -71,6 +161,7 @@ fn mapper_for(harden: bool, ilp_workers: usize) -> CoreMapper {
     };
     let mut cfg = base.config().clone();
     cfg.ilp_workers = ilp_workers.max(1);
+    cfg.topology_hypotheses = hypotheses;
     CoreMapper::with_config(cfg)
 }
 
@@ -80,6 +171,7 @@ fn map_instance(
     seed: u64,
     harden: bool,
     ilp_workers: usize,
+    hypotheses: Vec<Topology>,
 ) -> Result<(coremap_fleet::CloudInstance, coremap_core::CoreMap), Box<dyn Error>> {
     let fleet = CloudFleet::with_seed(seed);
     let instance = fleet.instance(model, index)?;
@@ -89,9 +181,17 @@ fn map_instance(
         instance.ppin()
     );
     let mut machine = instance.boot();
-    let map = mapper_for(harden, ilp_workers)
-        .map(&mut machine)?
-        .with_template(model.template());
+    let (map, diag) =
+        mapper_for(harden, ilp_workers, hypotheses).map_with_diagnostics(&mut machine)?;
+    print_hypothesis_scores(&diag.quality);
+    // The die template drives IMC/SYS tiles in renderings; it only applies
+    // when the map still lives on the model's own grid (a selection run can
+    // legitimately land on a different geometry).
+    let map = if map.dim() == model.template().dim() {
+        map.with_template(model.template())
+    } else {
+        map
+    };
     Ok((instance, map))
 }
 
@@ -113,6 +213,7 @@ fn write_metrics(reg: &obs::Registry, path: &str) -> CliResult {
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn map(
     model: CpuModel,
     index: usize,
@@ -121,9 +222,10 @@ fn map(
     metrics: Option<String>,
     harden: bool,
     ilp_workers: usize,
+    hypotheses: Vec<Topology>,
 ) -> CliResult {
     let scope = metrics_scope(&metrics);
-    let (_, map) = map_instance(model, index, seed, harden, ilp_workers)?;
+    let (_, map) = map_instance(model, index, seed, harden, ilp_workers, hypotheses)?;
     println!("{}", map.render());
     if let Some(path) = registry {
         let mut reg = match File::open(&path) {
@@ -168,6 +270,7 @@ fn show(registry: &str, ppin: Option<u64>) -> CliResult {
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn fleet_survey(
     model: CpuModel,
     instances: usize,
@@ -176,6 +279,7 @@ fn fleet_survey(
     metrics: Option<String>,
     harden: bool,
     ilp_workers: usize,
+    hypotheses: Vec<Topology>,
 ) -> CliResult {
     let fleet = CloudFleet::with_seed(seed);
     let count = instances.min(model.paper_population());
@@ -189,7 +293,7 @@ fn fleet_survey(
         &fleet,
         model,
         count,
-        &mapper_for(harden, ilp_workers),
+        &mapper_for(harden, ilp_workers, hypotheses),
         CloudInstance::boot,
     );
     if let (Some((reg, guard)), Some(path)) = (scope, &metrics) {
@@ -229,7 +333,7 @@ fn channel(
     if rate <= 0.0 {
         return Err("--rate must be positive".into());
     }
-    let (instance, map) = map_instance(model, index, seed, false, 1)?;
+    let (instance, map) = map_instance(model, index, seed, false, 1, Vec::new())?;
 
     // Receiver with a vertical neighbour; extra senders by proximity.
     let (receiver, first_sender) = (0..map.core_count() as u16)
@@ -277,7 +381,7 @@ fn channel(
 }
 
 fn verify_cmd(model: CpuModel, index: usize, seed: u64) -> CliResult {
-    let (instance, map) = map_instance(model, index, seed, false, 1)?;
+    let (instance, map) = map_instance(model, index, seed, false, 1, Vec::new())?;
     let truth = instance.floorplan();
     let positions: Vec<_> = truth.chas().map(|c| map.coord_of_cha(c)).collect();
     println!("{}", map.render());

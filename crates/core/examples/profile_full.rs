@@ -14,7 +14,8 @@ fn run(keep: &[TC]) {
     let t = DieTemplate::SkylakeXcc;
     let disable: Vec<TC> = t
         .core_capable_positions()
-        .into_iter()
+        .iter()
+        .copied()
         .filter(|p| !keep.contains(p))
         .collect();
     let plan = FloorplanBuilder::new(t)

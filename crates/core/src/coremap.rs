@@ -15,6 +15,7 @@ pub struct CoreMap {
     ppin: Option<Ppin>,
     dim: GridDim,
     template: Option<DieTemplate>,
+    topology: Option<String>,
     positions: Vec<TileCoord>,
     core_to_cha: Vec<ChaId>,
     llc_only: Vec<ChaId>,
@@ -42,6 +43,7 @@ impl CoreMap {
             ppin: None,
             dim,
             template: None,
+            topology: None,
             positions,
             core_to_cha,
             llc_only,
@@ -58,6 +60,18 @@ impl CoreMap {
     pub fn with_template(mut self, template: DieTemplate) -> Self {
         self.template = Some(template);
         self
+    }
+
+    /// Records which topology the map was reconstructed under (the winning
+    /// hypothesis when topology selection ran, or the declared die).
+    pub fn with_topology_name(mut self, name: impl Into<String>) -> Self {
+        self.topology = Some(name.into());
+        self
+    }
+
+    /// Name of the topology the map was reconstructed under, if recorded.
+    pub fn topology_name(&self) -> Option<&str> {
+        self.topology.as_deref()
     }
 
     /// PPIN of the mapped chip, if recorded.
@@ -191,8 +205,8 @@ impl CoreMap {
 
     fn render_internal(&self, pretty: bool) -> String {
         use fmt::Write;
-        let imc: Vec<TileCoord> = self.template.map(|t| t.imc_positions()).unwrap_or_default();
-        let sys: Vec<TileCoord> = self
+        let imc: &[TileCoord] = self.template.map(|t| t.imc_positions()).unwrap_or_default();
+        let sys: &[TileCoord] = self
             .template
             .map(|t| t.system_positions())
             .unwrap_or_default();

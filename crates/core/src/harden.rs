@@ -273,6 +273,12 @@ pub struct MapQuality {
     /// CHAs left without any surviving observation — their placement is
     /// unconstrained guesswork.
     pub unconstrained_chas: Vec<ChaId>,
+    /// Name of the topology hypothesis the map was reconstructed under,
+    /// when hypothesis selection ran (empty on the paper-literal path).
+    pub winning_topology: Option<String>,
+    /// Per-hypothesis verdicts from topology selection, in the order the
+    /// hypotheses were supplied (empty on the paper-literal path).
+    pub hypothesis_scores: Vec<crate::topology_select::HypothesisScore>,
 }
 
 impl MapQuality {
@@ -304,7 +310,7 @@ impl fmt::Display for MapQuality {
     }
 }
 
-fn grade(
+pub(crate) fn grade(
     kept: &ObservationSet,
     discarded: usize,
     unexplained: usize,
@@ -343,6 +349,8 @@ fn grade(
         unexplained_paths: unexplained,
         resolve_rounds,
         unconstrained_chas,
+        winning_topology: None,
+        hypothesis_scores: Vec::new(),
     }
 }
 

@@ -190,17 +190,71 @@ pub fn reconstruct_with_bb(
     dim: GridDim,
     cfg: &BbConfig,
 ) -> Result<Reconstruction, MapError> {
+    reconstruct_mesh_bb(obs, dim, cfg, false)
+}
+
+/// Reconstruction under an explicit routing-discipline hypothesis: the seam
+/// topology hypothesis selection solves through.
+///
+/// * [`RoutingDiscipline::VerticalFirst`] is the paper's Y-then-X model.
+/// * [`RoutingDiscipline::HorizontalFirst`] swaps the alignment anchors
+///   (vertical observers share the *sink*'s column, horizontal observers
+///   the *source*'s row) and relaxes the horizontal blocks on the sink
+///   side, because the X-then-Y turn tile sits at the sink's column.
+/// * [`RoutingDiscipline::QuadrantLocal`] has no dedicated formulation:
+///   same-quadrant traffic is Y-then-X, so the vertical-first model is
+///   solved and the caller validates the placement against the quadrant
+///   routes (`verify::explains_path_with`), which eliminates the
+///   hypothesis when cross-quadrant paths contradict it.
+/// * [`RoutingDiscipline::Ring`] observations carry no row/column geometry
+///   at all; the mesh ILP cannot express the cycle walk, so this returns
+///   [`MapError::InconsistentObservations`] and the combinatorial ring
+///   solver in `topology_select` owns that hypothesis.
+///
+/// # Errors
+///
+/// As for [`reconstruct`], plus the ring case above.
+pub fn reconstruct_disciplined(
+    obs: &ObservationSet,
+    dim: GridDim,
+    discipline: coremap_mesh::RoutingDiscipline,
+    opts: SolveOptions,
+) -> Result<Reconstruction, MapError> {
+    use coremap_mesh::RoutingDiscipline as Rd;
+    match discipline {
+        Rd::VerticalFirst | Rd::QuadrantLocal => {
+            reconstruct_mesh_bb(obs, dim, &opts.bb_config(), false)
+        }
+        Rd::HorizontalFirst => reconstruct_mesh_bb(obs, dim, &opts.bb_config(), true),
+        Rd::Ring { .. } => Err(MapError::InconsistentObservations),
+    }
+}
+
+/// The class-merged mesh formulation, parameterized over the dimension
+/// order. `horizontal_first = false` is the paper-literal model and the
+/// production path; `true` is the X-then-Y hypothesis.
+fn reconstruct_mesh_bb(
+    obs: &ObservationSet,
+    dim: GridDim,
+    cfg: &BbConfig,
+    horizontal_first: bool,
+) -> Result<Reconstruction, MapError> {
     let n = obs.n_cha;
 
     // ---- Alignment classes (paper Sec. II-C.2, applied as a merge) -------
+    // Under Y-then-X a vertical observer shares the source's column and a
+    // horizontal observer the sink's row; under X-then-Y the legs swap, so
+    // the anchors swap with them.
     let mut row_uf = UnionFind::new(n);
     let mut col_uf = UnionFind::new(n);
     for p in &obs.paths {
+        let col_anchor = if horizontal_first { p.sink } else { p.source };
+        let row_anchor = if horizontal_first { p.source } else { p.sink };
         for &(k, _) in &p.vertical {
-            col_uf.union(k.index(), p.source.index());
+            col_uf.union(k.index(), col_anchor.index());
         }
         for &k in &p.horizontal {
-            row_uf.union(k.index(), p.sink.index());
+            row_uf.union(k.index(), row_anchor.index());
         }
     }
     let row_class: Vec<usize> = (0..n).map(|i| row_uf.find(i)).collect();
@@ -274,24 +328,98 @@ pub fn reconstruct_with_bb(
     // The nullifier constant must dominate `span + (cols - 1)` so a voided
     // block is satisfied by every in-grid assignment.
     let big = 2.0 * dim.cols as f64;
+    if horizontal_first {
+        // X-then-Y: the horizontal leg runs at the source's row and ends at
+        // the *turn tile* — a tile whose column equals the sink's but whose
+        // CHA identity is unrecoverable from the measured event vectors
+        // (they are in CHA scan order, not travel order). Blocks are
+        // emitted per *ordered* column-class pair (source role vs sink
+        // role, so the strict/inclusive asymmetry is well defined): strict
+        // between source and observer on the source side, inclusive on the
+        // sink side so the turn-tile observer may sit exactly at the sink's
+        // column class.
+        let mut hf_mids: BTreeMap<(usize, usize), BTreeSet<usize>> = BTreeMap::new();
+        for p in &obs.paths {
+            if p.horizontal.is_empty() {
+                continue;
+            }
+            let s = col_class[p.source.index()];
+            let e = col_class[p.sink.index()];
+            if s == e {
+                return Err(MapError::InconsistentObservations);
+            }
+            let entry = hf_mids.entry((s, e)).or_default();
+            entry.extend(
+                p.horizontal
+                    .iter()
+                    .filter(|&&k| k != p.sink)
+                    .map(|&k| col_class[k.index()]),
+            );
+        }
+        let mut anchored = false;
+        for (&(s, e), mids) in &hf_mids {
+            let ne = model.bin_var("NE");
+            let nw = model.bin_var("NW");
+            model.set_branch_priority(ne, 10);
+            model.set_branch_priority(nw, 10);
+            let sum = model.expr().term(1.0, ne).term(1.0, nw);
+            model.constraint(sum, Cmp::Eq, 1.0);
+            // Orientation is unknowable here too; pin the mirror on the
+            // first horizontal block.
+            if !anchored {
+                model.constraint(LinExpr::from(ne), Cmp::Eq, 0.0);
+                anchored = true;
+            }
+            let (cs, ce) = (col_var[&s], col_var[&e]);
+            // Observers strictly between the endpoints number at least
+            // |mids| - 1 (one observer may be the turn tile), and the
+            // endpoints differ, so the span clears max(|mids|, 1).
+            let span = (mids.len() as f64).max(1.0);
+            let east = model.expr().term(1.0, cs).term(-1.0, ce).term(-big, ne);
+            model.constraint(east, Cmp::Le, -span);
+            let west = model.expr().term(-1.0, cs).term(1.0, ce).term(-big, nw);
+            model.constraint(west, Cmp::Le, -span);
+            for &m in mids {
+                if m == s {
+                    return Err(MapError::InconsistentObservations);
+                }
+                if m == e {
+                    // The turn-tile observer: pinned to the sink's column
+                    // class by the span constraints alone.
+                    continue;
+                }
+                let cm = col_var[&m];
+                let e1 = model.expr().term(1.0, cs).term(-1.0, cm).term(-big, ne);
+                model.constraint(e1, Cmp::Le, -1.0);
+                let e2 = model.expr().term(1.0, cm).term(-1.0, ce).term(-big, ne);
+                model.constraint(e2, Cmp::Le, 0.0);
+                let w1 = model.expr().term(-1.0, cs).term(1.0, cm).term(-big, nw);
+                model.constraint(w1, Cmp::Le, -1.0);
+                let w2 = model.expr().term(-1.0, cm).term(1.0, ce).term(-big, nw);
+                model.constraint(w2, Cmp::Le, 0.0);
+            }
+        }
+    }
     let mut pair_mids: BTreeMap<(usize, usize), BTreeSet<usize>> = BTreeMap::new();
-    for p in &obs.paths {
-        if p.horizontal.is_empty() {
-            continue;
+    if !horizontal_first {
+        for p in &obs.paths {
+            if p.horizontal.is_empty() {
+                continue;
+            }
+            let s = col_class[p.source.index()];
+            let e = col_class[p.sink.index()];
+            if s == e {
+                return Err(MapError::InconsistentObservations);
+            }
+            let key = (s.min(e), s.max(e));
+            let entry = pair_mids.entry(key).or_default();
+            entry.extend(
+                p.horizontal
+                    .iter()
+                    .filter(|&&k| k != p.sink)
+                    .map(|&k| col_class[k.index()]),
+            );
         }
-        let s = col_class[p.source.index()];
-        let e = col_class[p.sink.index()];
-        if s == e {
-            return Err(MapError::InconsistentObservations);
-        }
-        let key = (s.min(e), s.max(e));
-        let entry = pair_mids.entry(key).or_default();
-        entry.extend(
-            p.horizontal
-                .iter()
-                .filter(|&&k| k != p.sink)
-                .map(|&k| col_class[k.index()]),
-        );
     }
     // BTreeMap iteration is already in sorted class-pair order, so the
     // constraint blocks are emitted deterministically.
@@ -565,7 +693,8 @@ mod tests {
             .collect();
         let disable = t
             .core_capable_positions()
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|p| !keep.contains(p));
         FloorplanBuilder::new(t)
             .disable_all(disable)
@@ -590,7 +719,8 @@ mod tests {
         ];
         let disable = t
             .core_capable_positions()
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|p| !keep.contains(p));
         FloorplanBuilder::new(t)
             .disable_all(disable)
@@ -675,6 +805,54 @@ mod tests {
         let obs = ObservationSet::synthetic(&plan);
         let rec = reconstruct(&obs, plan.dim()).unwrap();
         assert!(verify::positions_match_relative(&rec.positions, &plan));
+    }
+
+    #[test]
+    fn hfirst_reconstruction_recovers_xfirst_die() {
+        use coremap_mesh::{RoutingDiscipline, Topology};
+        let topo = Topology::builtin("skylake-xcc-xfirst").unwrap().clone();
+        let plan = coremap_mesh::FloorplanBuilder::from_topology(topo)
+            .build()
+            .unwrap();
+        let obs = ObservationSet::synthetic(&plan);
+        let rec = reconstruct_disciplined(
+            &obs,
+            plan.dim(),
+            RoutingDiscipline::HorizontalFirst,
+            SolveOptions::default(),
+        )
+        .unwrap();
+        assert!(verify::positions_match(&rec.positions, &plan));
+        assert!(obs.paths.iter().all(|p| verify::explains_path_with(
+            &rec.positions,
+            p,
+            plan.dim(),
+            RoutingDiscipline::HorizontalFirst
+        )));
+    }
+
+    #[test]
+    fn wrong_discipline_hypothesis_fails_loudly_or_inconsistently() {
+        use coremap_mesh::{RoutingDiscipline, Topology};
+        // X-then-Y trace fed to the paper's Y-then-X model: either the
+        // alignment classes collapse into a contradiction, or the placement
+        // cannot replay the observations — both eliminate the hypothesis.
+        let topo = Topology::builtin("skylake-xcc-xfirst").unwrap().clone();
+        let plan = coremap_mesh::FloorplanBuilder::from_topology(topo)
+            .build()
+            .unwrap();
+        let obs = ObservationSet::synthetic(&plan);
+        match reconstruct(&obs, plan.dim()) {
+            Err(_) => {}
+            Ok(rec) => {
+                assert!(!obs.paths.iter().all(|p| verify::explains_path_with(
+                    &rec.positions,
+                    p,
+                    plan.dim(),
+                    RoutingDiscipline::VerticalFirst
+                )));
+            }
+        }
     }
 
     #[test]

@@ -64,6 +64,13 @@ pub struct MapperConfig {
     /// Dual-simplex warm starts across branch-and-bound nodes. On by
     /// default; disabling selects the cold revised engine (for ablations).
     pub ilp_warm_start: bool,
+    /// Topology hypotheses to test in step 3. Empty (the default) keeps the
+    /// paper-literal reconstruction against the machine's own grid; when
+    /// non-empty, step 3 instead runs
+    /// [`topology_select::select`](crate::topology_select::select) over the
+    /// set and keeps the first surviving hypothesis, recording every
+    /// verdict in [`MapQuality`].
+    pub topology_hypotheses: Vec<coremap_mesh::Topology>,
 }
 
 impl Default for MapperConfig {
@@ -79,6 +86,7 @@ impl Default for MapperConfig {
             robustness: RobustnessConfig::default(),
             ilp_workers: 1,
             ilp_warm_start: true,
+            topology_hypotheses: Vec::new(),
         }
     }
 }
@@ -197,30 +205,65 @@ impl CoreMapper {
             }
         };
 
-        // Step 3: ILP reconstruction with graceful degradation — an
-        // inconsistent minority of observations is discarded and the solve
-        // repeated rather than aborting the campaign.
-        let (rec, quality) = {
-            let _span = obs::time("core.map.stage.ilp");
-            harden::reconstruct_degrading(
-                &observations,
-                machine.grid_dim(),
-                self.config.full_formulation,
-                &self.config.robustness,
-                crate::ilp_model::SolveOptions {
-                    workers: self.config.ilp_workers,
-                    warm_start: self.config.ilp_warm_start,
-                },
-            )?
+        let solve_opts = crate::ilp_model::SolveOptions {
+            workers: self.config.ilp_workers,
+            warm_start: self.config.ilp_warm_start,
         };
 
-        let map = CoreMap::new(
-            machine.grid_dim(),
+        // Step 3: ILP reconstruction. With a hypothesis set configured the
+        // reconstruction runs once per candidate topology and the first
+        // surviving hypothesis wins; otherwise the paper-literal path
+        // reconstructs against the machine's own grid with graceful
+        // degradation — an inconsistent minority of observations is
+        // discarded and the solve repeated rather than aborting the
+        // campaign.
+        let (rec, quality, winning_dim, winning_topology) =
+            if self.config.topology_hypotheses.is_empty() {
+                let _span = obs::time("core.map.stage.ilp");
+                let (rec, quality) = harden::reconstruct_degrading(
+                    &observations,
+                    machine.grid_dim(),
+                    self.config.full_formulation,
+                    &self.config.robustness,
+                    solve_opts,
+                )?;
+                (rec, quality, machine.grid_dim(), None)
+            } else {
+                let _span = obs::time("core.map.stage.topo_select");
+                let selection = crate::topology_select::select(
+                    &observations,
+                    &self.config.topology_hypotheses,
+                    solve_opts,
+                );
+                obs::add(
+                    "topo.hypotheses.tested",
+                    self.config.topology_hypotheses.len() as u64,
+                );
+                obs::add(
+                    "topo.hypotheses.eliminated",
+                    selection.scores.iter().filter(|s| !s.survives()).count() as u64,
+                );
+                let winner_name = selection.winner_name().map(str::to_owned);
+                let (Some(idx), Some(rec)) = (selection.winner, selection.reconstruction) else {
+                    return Err(MapError::InconsistentObservations);
+                };
+                let dim = self.config.topology_hypotheses[idx].dim();
+                let mut quality = harden::grade(&observations, 0, 0, 0);
+                quality.winning_topology = winner_name.clone();
+                quality.hypothesis_scores = selection.scores;
+                (rec, quality, dim, winner_name)
+            };
+
+        let mut map = CoreMap::new(
+            winning_dim,
             rec.positions,
             mapping.core_to_cha,
             mapping.llc_only,
         )
         .with_ppin(ppin);
+        if let Some(name) = winning_topology {
+            map = map.with_topology_name(name);
+        }
         let diagnostics = MapDiagnostics {
             observations,
             ilp_stats: rec.stats,
@@ -318,6 +361,46 @@ mod tests {
             ..MapperConfig::default()
         };
         assert!(CoreMapper::with_config(cfg).map(&mut m).is_err());
+    }
+
+    #[test]
+    fn hypothesis_selection_identifies_the_true_topology() {
+        let plan = FloorplanBuilder::new(DieTemplate::SkylakeXcc)
+            .build()
+            .unwrap();
+        let truth = plan.clone();
+        let mut m = XeonMachine::new(plan, MachineConfig::default());
+        let cfg = MapperConfig {
+            topology_hypotheses: coremap_mesh::Topology::builtins()
+                .iter()
+                .map(|t| (*t).clone())
+                .collect(),
+            ..MapperConfig::default()
+        };
+        let (map, diag) = CoreMapper::with_config(cfg)
+            .map_with_diagnostics(&mut m)
+            .unwrap();
+        assert_eq!(map.topology_name(), Some("skylake-xcc"));
+        assert_eq!(
+            diag.quality.winning_topology.as_deref(),
+            Some("skylake-xcc")
+        );
+        assert_eq!(
+            diag.quality.hypothesis_scores.len(),
+            coremap_mesh::Topology::builtins().len()
+        );
+        // The wrong-geometry and wrong-discipline hypotheses are eliminated.
+        assert!(diag
+            .quality
+            .hypothesis_scores
+            .iter()
+            .any(|s| s.name == "icelake-xcc" && !s.survives()));
+        assert!(diag
+            .quality
+            .hypothesis_scores
+            .iter()
+            .any(|s| s.name == "ring-28" && !s.survives()));
+        assert!(verify::matches_exactly(&map, &truth));
     }
 
     #[test]

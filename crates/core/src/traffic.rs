@@ -76,13 +76,15 @@ impl ObservationSet {
     /// through [`observe_all`]).
     ///
     /// For every ordered pair of active CHAs whose sink tile has an enabled
-    /// core (LLC-only tiles can only be sources), the dimension-order route
-    /// is traced and every hop landing on an observable tile becomes a
-    /// vertical (with truthful direction) or horizontal (direction dropped)
-    /// observation.
+    /// core (LLC-only tiles can only be sources), the route under the
+    /// floorplan topology's routing discipline is traced and every hop
+    /// landing on an observable tile becomes a vertical (with truthful
+    /// direction) or horizontal (direction dropped) observation.
     pub fn synthetic(plan: &coremap_mesh::Floorplan) -> ObservationSet {
-        use coremap_mesh::route::route;
+        use coremap_mesh::route::route_with;
         use coremap_mesh::Direction;
+
+        let discipline = plan.topology().routing();
 
         let chas: Vec<ChaId> = plan.chas().collect();
         let mut paths = Vec::new();
@@ -95,7 +97,12 @@ impl ObservationSet {
                 if !plan.tile(plan.coord_of_cha(sink)).kind().has_core() {
                     continue;
                 }
-                let r = route(plan.coord_of_cha(src), plan.coord_of_cha(sink), plan.dim());
+                let r = route_with(
+                    plan.coord_of_cha(src),
+                    plan.coord_of_cha(sink),
+                    plan.dim(),
+                    discipline,
+                );
                 let mut vertical = Vec::new();
                 let mut horizontal = Vec::new();
                 for ev in r.events() {

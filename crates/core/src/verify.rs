@@ -153,15 +153,33 @@ pub fn explains_path(
     p: &crate::PathObservation,
     dim: coremap_mesh::GridDim,
 ) -> bool {
+    explains_path_with(
+        positions,
+        p,
+        dim,
+        coremap_mesh::RoutingDiscipline::VerticalFirst,
+    )
+}
+
+/// [`explains_path`] generalized over the routing discipline: replays the
+/// observed path under `discipline` instead of the paper's Y-then-X rule.
+/// Topology hypothesis selection uses this to score a candidate placement
+/// against a hypothesis whose interconnect routes differently.
+pub fn explains_path_with(
+    positions: &[TileCoord],
+    p: &crate::PathObservation,
+    dim: coremap_mesh::GridDim,
+    discipline: coremap_mesh::RoutingDiscipline,
+) -> bool {
     use crate::traffic::VerticalDir;
-    use coremap_mesh::route::route;
+    use coremap_mesh::route::route_with;
     use coremap_mesh::Direction;
     use std::collections::BTreeSet;
 
     let tile_of = |cha: ChaId| positions[cha.index()];
     let cha_at = |coord: TileCoord| -> Option<usize> { positions.iter().position(|&p| p == coord) };
 
-    let r = route(tile_of(p.source), tile_of(p.sink), dim);
+    let r = route_with(tile_of(p.source), tile_of(p.sink), dim, discipline);
     let mut pred_vertical: BTreeSet<(usize, VerticalDir)> = BTreeSet::new();
     let mut pred_horizontal: BTreeSet<usize> = BTreeSet::new();
     for ev in r.events() {
@@ -278,7 +296,8 @@ mod tests {
         ];
         let disable = t
             .core_capable_positions()
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|p| !keep.contains(p));
         let plan = FloorplanBuilder::new(t)
             .disable_all(disable)

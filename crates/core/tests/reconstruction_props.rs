@@ -32,7 +32,11 @@ fn dense_block(
     if keep.len() != rows * cols {
         return None;
     }
-    let disable: Vec<TileCoord> = capable.into_iter().filter(|p| !keep.contains(p)).collect();
+    let disable: Vec<TileCoord> = capable
+        .iter()
+        .copied()
+        .filter(|p| !keep.contains(p))
+        .collect();
     let mut builder = FloorplanBuilder::new(t).disable_all(disable);
     let mut core_left = keep.len();
     for (i, &p) in keep.iter().enumerate() {
@@ -80,7 +84,7 @@ proptest! {
         use rand::SeedableRng;
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let t = DieTemplate::SkylakeXcc;
-        let mut capable = t.core_capable_positions();
+        let mut capable = t.core_capable_positions().to_vec();
         capable.shuffle(&mut rng);
         // Keep 10-14 active tiles: sparse enough to be ambiguous, small
         // enough for fast solves.

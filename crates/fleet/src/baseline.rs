@@ -89,7 +89,7 @@ impl LatencyMapper {
     /// cell — the insufficiency the paper points out.
     pub fn estimate(&self, machine: &mut XeonMachine) -> Vec<TileCoord> {
         let dim = machine.grid_dim();
-        let imcs = machine.floorplan().template().imc_positions();
+        let imcs = machine.floorplan().topology().imc_positions().to_vec();
         let cores = machine.os_cores();
         let mut positions = Vec::with_capacity(cores.len());
         for &core in &cores {

@@ -108,7 +108,8 @@ fn build_floorplan(
         let enabled: Vec<TileCoord> = model
             .template()
             .core_capable_positions()
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|c| !disabled.contains(c))
             .collect();
         for &cha in &target_chas {

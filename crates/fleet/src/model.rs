@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use coremap_mesh::DieTemplate;
+use coremap_mesh::{DieTemplate, Topology};
 use serde::{Deserialize, Serialize};
 
 /// A Xeon SKU from the paper's evaluation (Sec. III).
@@ -35,6 +35,22 @@ impl CpuModel {
             CpuModel::Gold6354 => DieTemplate::IceLakeXcc,
             _ => DieTemplate::SkylakeXcc,
         }
+    }
+
+    /// The topology description of this SKU's die — the named entry of the
+    /// builtin topology zoo matching [`template`](Self::template), except
+    /// that Cascade Lake is distinguished by name (the paper treats SKX and
+    /// CLX as the same 5x6 mesh; the zoo keeps separate labels so fleet
+    /// records carry the marketing generation).
+    #[allow(clippy::expect_used)]
+    pub fn topology(self) -> &'static Topology {
+        let name = match self {
+            CpuModel::Platinum8124M | CpuModel::Platinum8175M => "skylake-xcc",
+            CpuModel::Platinum8259CL => "cascadelake-xcc",
+            CpuModel::Gold6354 => "icelake-xcc",
+        };
+        // audit: allow(panic-safety): the builtin zoo statically contains every name listed above
+        Topology::builtin(name).expect("builtin topology for every SKU")
     }
 
     /// Enabled core count.
@@ -102,6 +118,23 @@ mod tests {
                 m.template().core_capable_count()
             );
         }
+    }
+
+    #[test]
+    fn topology_agrees_with_template() {
+        for m in CpuModel::ALL {
+            let topo = m.topology();
+            assert_eq!(topo.dim(), m.template().dim(), "{m}");
+            assert_eq!(
+                topo.core_capable_count(),
+                m.template().core_capable_count(),
+                "{m}"
+            );
+        }
+        assert_eq!(
+            CpuModel::Platinum8259CL.topology().name(),
+            "cascadelake-xcc"
+        );
     }
 
     #[test]

@@ -142,7 +142,7 @@ pub fn all_disabled_sets(model: CpuModel, n: usize, fleet_seed: u64) -> Vec<Vec<
     sets.push(canonical);
     let mut rng = seeded_rng(fleet_seed, model, 0, 0xD1);
     while sets.len() < n {
-        let mut positions = capable.clone();
+        let mut positions = capable.to_vec();
         positions.shuffle(&mut rng);
         let mut set: Vec<TileCoord> = positions.into_iter().take(k).collect();
         set.sort();

@@ -1,8 +1,8 @@
-//! Error types for floorplan construction.
+//! Error types for floorplan and topology construction.
 
 use std::fmt;
 
-use crate::TileCoord;
+use crate::{GridDim, TileCoord};
 
 /// Error building a [`Floorplan`](crate::Floorplan).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,6 +25,9 @@ pub enum FloorplanError {
     },
     /// The requested configuration leaves no enabled cores.
     NoCores,
+    /// Extra tiles were harvested on a topology that pins an explicit core
+    /// order, invalidating its CHA numbering.
+    CoreOrderConflict,
 }
 
 impl fmt::Display for FloorplanError {
@@ -40,8 +43,105 @@ impl fmt::Display for FloorplanError {
                 write!(f, "tile position {coord} is both disabled and LLC-only")
             }
             FloorplanError::NoCores => f.write_str("floorplan would have no enabled cores"),
+            FloorplanError::CoreOrderConflict => {
+                f.write_str("extra harvest invalidates the topology's explicit core order")
+            }
         }
     }
 }
 
 impl std::error::Error for FloorplanError {}
+
+/// Error validating a [`Topology`](crate::Topology) description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The document's schema tag is not `coremap-topology/v1`.
+    BadSchema {
+        /// The schema string found in the document.
+        found: String,
+    },
+    /// The grid has zero rows or columns.
+    EmptyGrid,
+    /// A tile-class position lies outside the declared grid.
+    OutOfGrid {
+        /// The offending coordinate.
+        coord: TileCoord,
+    },
+    /// The same grid position is claimed by more than one tile class (or
+    /// listed twice within one class).
+    OverlappingTiles {
+        /// The offending coordinate.
+        coord: TileCoord,
+    },
+    /// The explicit core order numbers a CHA whose core the harvest mask
+    /// fused off (an LLC-only tile cannot appear in the OS enumeration).
+    HarvestedCoreNumbered {
+        /// The CHA ID that was numbered despite being harvested.
+        cha: u16,
+    },
+    /// The explicit core order names a CHA that does not exist or names one
+    /// twice.
+    BadCoreOrder {
+        /// The offending CHA ID.
+        cha: u16,
+    },
+    /// The explicit core order does not cover every core-bearing CHA.
+    IncompleteCoreOrder {
+        /// Number of CHAs listed.
+        listed: usize,
+        /// Number of core-bearing CHAs on the harvested grid.
+        cores: usize,
+    },
+    /// A ring routing discipline needs a grid that admits a Hamiltonian
+    /// cycle (even tile count, no degenerate single-row/column line).
+    RingParity {
+        /// The offending grid dimensions.
+        dim: GridDim,
+    },
+    /// The document is not valid JSON for the spec shape.
+    Parse {
+        /// Parser diagnostic.
+        msg: String,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::BadSchema { found } => {
+                write!(f, "unsupported topology schema '{found}'")
+            }
+            TopologyError::EmptyGrid => f.write_str("topology grid has zero extent"),
+            TopologyError::OutOfGrid { coord } => {
+                write!(f, "tile position {coord} is outside the topology grid")
+            }
+            TopologyError::OverlappingTiles { coord } => {
+                write!(
+                    f,
+                    "tile position {coord} is claimed by more than one tile class"
+                )
+            }
+            TopologyError::HarvestedCoreNumbered { cha } => {
+                write!(f, "core order numbers CHA {cha} whose core is harvested")
+            }
+            TopologyError::BadCoreOrder { cha } => {
+                write!(
+                    f,
+                    "core order entry {cha} is not a distinct core-bearing CHA"
+                )
+            }
+            TopologyError::IncompleteCoreOrder { listed, cores } => {
+                write!(f, "core order lists {listed} of {cores} core-bearing CHAs")
+            }
+            TopologyError::RingParity { dim } => {
+                write!(
+                    f,
+                    "ring routing cannot close a Hamiltonian cycle on a {dim} grid"
+                )
+            }
+            TopologyError::Parse { msg } => write!(f, "topology document parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}

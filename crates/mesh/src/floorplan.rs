@@ -1,10 +1,11 @@
 //! Die templates and concrete floorplans.
 //!
-//! A [`DieTemplate`] fixes the grid dimensions and the positions of the
-//! non-core tiles (IMC, system agents). A [`Floorplan`] then assigns each
-//! core-capable position one of three states — full core tile, LLC-only
-//! tile, or fully disabled tile — and derives the two hidden ID spaces the
-//! paper's methodology recovers:
+//! A [`Topology`] fixes the grid dimensions, the positions of the non-core
+//! tiles (IMC, system agents), the routing discipline and the ID numbering
+//! schemes; [`DieTemplate`] is a shorthand for the builtin Xeon
+//! topologies. A [`Floorplan`] then assigns each core-capable position one
+//! of three states — full core tile, LLC-only tile, or fully disabled tile
+//! — and derives the two hidden ID spaces the paper's methodology recovers:
 //!
 //! * **CHA IDs** are assigned over tiles with an active CHA in the die's
 //!   numbering order (column-major on Skylake/Cascade Lake, row-major on Ice
@@ -18,9 +19,12 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::topology::{self, Topology};
 use crate::{ChaId, FloorplanError, GridDim, OsCoreId, Tile, TileCoord, TileKind};
 
-/// Physical die template: grid size plus fixed non-core tile positions.
+/// Physical die template: shorthand for the builtin Xeon [`Topology`]
+/// descriptions. All geometry accessors delegate to precomputed topology
+/// tables and return slices — nothing is re-derived per call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DieTemplate {
     /// Skylake / Cascade Lake server XCC die: 5x6 tile grid, 28 core-capable
@@ -34,73 +38,49 @@ pub enum DieTemplate {
 }
 
 impl DieTemplate {
+    /// The builtin topology description this template names.
+    pub fn topology(self) -> &'static Topology {
+        match self {
+            DieTemplate::SkylakeXcc => topology::skylake_xcc(),
+            DieTemplate::IceLakeXcc => topology::icelake_xcc(),
+        }
+    }
+
     /// Grid dimensions of the die.
     pub fn dim(self) -> GridDim {
-        match self {
-            DieTemplate::SkylakeXcc => GridDim::new(5, 6),
-            DieTemplate::IceLakeXcc => GridDim::new(6, 8),
-        }
+        self.topology().dim()
     }
 
     /// Positions of the integrated memory controller tiles.
-    pub fn imc_positions(self) -> Vec<TileCoord> {
-        match self {
-            DieTemplate::SkylakeXcc => vec![TileCoord::new(1, 0), TileCoord::new(1, 5)],
-            DieTemplate::IceLakeXcc => vec![
-                TileCoord::new(2, 0),
-                TileCoord::new(2, 7),
-                TileCoord::new(4, 0),
-                TileCoord::new(4, 7),
-            ],
-        }
+    pub fn imc_positions(self) -> &'static [TileCoord] {
+        self.topology().imc_positions()
     }
 
     /// Positions of non-core system tiles (UPI/PCIe agents).
-    pub fn system_positions(self) -> Vec<TileCoord> {
-        match self {
-            DieTemplate::SkylakeXcc => Vec::new(),
-            DieTemplate::IceLakeXcc => vec![
-                TileCoord::new(0, 0),
-                TileCoord::new(0, 7),
-                TileCoord::new(5, 0),
-                TileCoord::new(5, 7),
-            ],
-        }
+    pub fn system_positions(self) -> &'static [TileCoord] {
+        self.topology().system_positions()
     }
 
     /// CHA numbering order over enabled tiles for this generation.
     pub fn cha_numbering(self) -> ChaNumbering {
-        match self {
-            DieTemplate::SkylakeXcc => ChaNumbering::ColumnMajor,
-            DieTemplate::IceLakeXcc => ChaNumbering::RowMajor,
-        }
+        self.topology().cha_numbering()
     }
 
     /// OS-core enumeration rule for this generation (paper Table I / Fig. 5).
     pub fn core_numbering(self) -> CoreNumbering {
-        match self {
-            DieTemplate::SkylakeXcc => CoreNumbering::Stride4Class,
-            DieTemplate::IceLakeXcc => CoreNumbering::Ascending,
-        }
+        self.topology().core_numbering()
     }
 
     /// Coordinates of all core-capable positions, in the die's CHA numbering
     /// order.
-    pub fn core_capable_positions(self) -> Vec<TileCoord> {
-        let dim = self.dim();
-        let imc = self.imc_positions();
-        let sys = self.system_positions();
-        let is_capable = |c: &TileCoord| !imc.contains(c) && !sys.contains(c);
-        match self.cha_numbering() {
-            ChaNumbering::ColumnMajor => dim.iter_column_major().filter(is_capable).collect(),
-            ChaNumbering::RowMajor => dim.iter_row_major().filter(is_capable).collect(),
-        }
+    pub fn core_capable_positions(self) -> &'static [TileCoord] {
+        self.topology().core_capable_positions()
     }
 
     /// Number of core-capable tiles on the die (28 for Skylake XCC, 40 for
     /// Ice Lake).
     pub fn core_capable_count(self) -> usize {
-        self.core_capable_positions().len()
+        self.topology().core_capable_count()
     }
 }
 
@@ -161,7 +141,7 @@ impl CoreNumbering {
 /// ```
 #[derive(Debug, Clone)]
 pub struct FloorplanBuilder {
-    template: DieTemplate,
+    topology: Topology,
     disabled: Vec<TileCoord>,
     llc_only: Vec<TileCoord>,
 }
@@ -170,10 +150,19 @@ impl FloorplanBuilder {
     /// Starts a floorplan on the given die template with every core-capable
     /// tile enabled.
     pub fn new(template: DieTemplate) -> Self {
+        Self::from_topology(template.topology().clone())
+    }
+
+    /// Starts a floorplan on an arbitrary topology description. The
+    /// topology's harvest mask seeds the disabled/LLC-only sets; further
+    /// tiles can be harvested on top.
+    pub fn from_topology(topology: Topology) -> Self {
+        let disabled = topology.disabled_mask().to_vec();
+        let llc_only = topology.llc_only_mask().to_vec();
         Self {
-            template,
-            disabled: Vec::new(),
-            llc_only: Vec::new(),
+            topology,
+            disabled,
+            llc_only,
         }
     }
 
@@ -218,9 +207,9 @@ impl FloorplanBuilder {
     /// core-capable, assigned conflicting states, or if no core remains
     /// enabled.
     pub fn build(self) -> Result<Floorplan, FloorplanError> {
-        let template = self.template;
-        let dim = template.dim();
-        let capable = template.core_capable_positions();
+        let topology = self.topology;
+        let dim = topology.dim();
+        let capable = topology.core_capable_positions();
 
         for &coord in self.disabled.iter().chain(self.llc_only.iter()) {
             if !dim.contains(coord) {
@@ -237,10 +226,10 @@ impl FloorplanBuilder {
         // Assign CHA IDs over enabled (non-disabled) capable tiles in the
         // die's numbering order.
         let mut tiles = vec![Tile::new(TileKind::Disabled); dim.tile_count()];
-        for coord in template.imc_positions() {
+        for &coord in topology.imc_positions() {
             tiles[dim.linear_index(coord)] = Tile::new(TileKind::Imc);
         }
-        for coord in template.system_positions() {
+        for &coord in topology.system_positions() {
             tiles[dim.linear_index(coord)] = Tile::new(TileKind::System);
         }
 
@@ -263,7 +252,19 @@ impl FloorplanBuilder {
             return Err(FloorplanError::NoCores);
         }
 
-        let os_order = template.core_numbering().enumerate(core_chas);
+        // An explicit core order pinned by the topology wins over the
+        // generation rule — but only while it still names exactly the
+        // core-bearing CHAs (extra harvest on top shifts CHA IDs).
+        let os_order = match topology.core_order() {
+            Some(order) => {
+                let order = order.to_vec();
+                if order.len() != core_chas.len() || !order.iter().all(|c| core_chas.contains(c)) {
+                    return Err(FloorplanError::CoreOrderConflict);
+                }
+                order
+            }
+            None => topology.core_numbering().enumerate(core_chas),
+        };
         let mut core_coords = Vec::with_capacity(os_order.len());
         for (os_idx, &cha) in os_order.iter().enumerate() {
             let coord = cha_coords[cha.index()];
@@ -286,7 +287,7 @@ impl FloorplanBuilder {
         }
 
         Ok(Floorplan {
-            template,
+            topology,
             dim,
             tiles,
             cha_coords,
@@ -299,7 +300,7 @@ impl FloorplanBuilder {
 /// methodology reconstructs from mesh-traffic observations.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Floorplan {
-    template: DieTemplate,
+    topology: Topology,
     dim: GridDim,
     tiles: Vec<Tile>,
     /// Coordinate of each CHA, indexed by CHA ID.
@@ -309,9 +310,9 @@ pub struct Floorplan {
 }
 
 impl Floorplan {
-    /// The die template this floorplan instantiates.
-    pub fn template(&self) -> DieTemplate {
-        self.template
+    /// The topology description this floorplan instantiates.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// Grid dimensions.
@@ -570,7 +571,7 @@ mod tests {
     fn build_rejects_all_cores_disabled() {
         let t = DieTemplate::SkylakeXcc;
         let err = FloorplanBuilder::new(t)
-            .disable_all(t.core_capable_positions())
+            .disable_all(t.core_capable_positions().iter().copied())
             .build()
             .unwrap_err();
         assert_eq!(err, FloorplanError::NoCores);

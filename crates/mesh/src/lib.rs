@@ -48,10 +48,12 @@ mod geom;
 mod ids;
 pub mod route;
 mod tile;
+pub mod topology;
 
-pub use error::FloorplanError;
-pub use floorplan::{DieTemplate, Floorplan, FloorplanBuilder};
+pub use error::{FloorplanError, TopologyError};
+pub use floorplan::{ChaNumbering, CoreNumbering, DieTemplate, Floorplan, FloorplanBuilder};
 pub use geom::{Direction, GridDim, TileCoord};
 pub use ids::{ChaId, OsCoreId, Ppin};
 pub use route::{IngressEvent, Link, Route, RoutingDiscipline};
 pub use tile::{Tile, TileKind};
+pub use topology::{Topology, TopologySpec, TOPOLOGY_SCHEMA};

@@ -25,10 +25,12 @@ use serde::{Deserialize, Serialize};
 
 use crate::{Direction, GridDim, TileCoord};
 
-/// Dimension-order routing discipline. The Xeon mesh routes vertically
-/// first ([`RoutingDiscipline::VerticalFirst`], paper Sec. II); the
-/// horizontal-first variant exists to study how sensitive the mapping
-/// method is to this assumption (`ablate_routing_assumption`).
+/// Routing discipline of the interconnect. The Xeon mesh routes vertically
+/// first ([`RoutingDiscipline::VerticalFirst`], paper Sec. II); the other
+/// variants describe the hypothesis space topology selection searches: the
+/// horizontal-first counterfactual (`ablate_routing_assumption`), a fixed
+/// Hamiltonian-cycle ring with polarity (the *Lord of the Ring(s)*
+/// interconnect family), and SNC-style quadrant-local routing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum RoutingDiscipline {
     /// Y then X — the documented Xeon behaviour.
@@ -37,6 +39,17 @@ pub enum RoutingDiscipline {
     /// X then Y — a hypothetical mesh the method's constraints do not
     /// describe.
     HorizontalFirst,
+    /// Packets walk a fixed Hamiltonian cycle over the grid; `clockwise`
+    /// picks the traversal polarity. Requires an even tile count.
+    Ring {
+        /// Walk the canonical cycle forward (`true`) or backward.
+        clockwise: bool,
+    },
+    /// Dimension-order routing confined to quadrants: same-quadrant traffic
+    /// routes Y-then-X; cross-quadrant traffic first routes Y-then-X to the
+    /// gateway tile obtained by clamping the source coordinates into the
+    /// sink's quadrant, then on to the sink.
+    QuadrantLocal,
 }
 
 /// A single ingress event: a packet arrived at `tile` moving in
@@ -129,12 +142,180 @@ pub fn route(source: TileCoord, sink: TileCoord, dim: GridDim) -> Route {
     route_with(source, sink, dim, RoutingDiscipline::VerticalFirst)
 }
 
-/// Traces a dimension-order route under an explicit discipline; see
-/// [`route`].
+/// Emits the ingress events of a vertical segment from `source_row` to
+/// `sink_row` along `col`, in travel order. Empty when the rows coincide.
+fn push_vertical(events: &mut Vec<IngressEvent>, source_row: usize, sink_row: usize, col: usize) {
+    if sink_row == source_row {
+        return;
+    }
+    let dir = if sink_row < source_row {
+        Direction::Up
+    } else {
+        Direction::Down
+    };
+    let rows: Box<dyn Iterator<Item = usize>> = if sink_row < source_row {
+        Box::new((sink_row..source_row).rev())
+    } else {
+        Box::new(source_row + 1..=sink_row)
+    };
+    for row in rows {
+        events.push(IngressEvent::new(TileCoord::new(row, col), dir));
+    }
+}
+
+/// Emits the ingress events of a horizontal segment from `source_col` to
+/// `sink_col` along `row`, in travel order. Empty when the columns coincide.
+fn push_horizontal(events: &mut Vec<IngressEvent>, source_col: usize, sink_col: usize, row: usize) {
+    if sink_col == source_col {
+        return;
+    }
+    let dir = if sink_col < source_col {
+        Direction::Left
+    } else {
+        Direction::Right
+    };
+    let cols: Box<dyn Iterator<Item = usize>> = if sink_col < source_col {
+        Box::new((sink_col..source_col).rev())
+    } else {
+        Box::new(source_col + 1..=sink_col)
+    };
+    for col in cols {
+        events.push(IngressEvent::new(TileCoord::new(row, col), dir));
+    }
+}
+
+/// The canonical Hamiltonian cycle [`RoutingDiscipline::Ring`] packets walk
+/// on a `dim` grid, as a list of tiles in cycle order (the edge from the
+/// last tile back to the first closes the ring). Consecutive tiles are
+/// always grid-adjacent.
+///
+/// Construction (even column count): down column 0, serpentine over rows
+/// `1..rows` of the remaining columns, then back to the origin along row 0.
+/// Grids with an even row count use the transposed construction.
 ///
 /// # Panics
 ///
-/// Panics if `source` or `sink` lie outside `dim`.
+/// Panics if the tile count is odd — no Hamiltonian cycle exists on an
+/// odd-by-odd grid graph. [`Topology`](crate::Topology) validation rejects
+/// such ring topologies up front.
+pub fn ring_cycle(dim: GridDim) -> Vec<TileCoord> {
+    assert!(
+        dim.tile_count().is_multiple_of(2)
+            && (dim.rows.min(dim.cols) >= 2 || dim.tile_count() <= 2),
+        "no Hamiltonian cycle on a {dim} grid"
+    );
+    if dim.cols.is_multiple_of(2) {
+        ring_cycle_cols_even(dim.rows, dim.cols)
+            .map(|(r, c)| TileCoord::new(r, c))
+            .collect()
+    } else {
+        // Even row count: transpose the construction.
+        ring_cycle_cols_even(dim.cols, dim.rows)
+            .map(|(r, c)| TileCoord::new(c, r))
+            .collect()
+    }
+}
+
+/// Cycle construction for an even number of columns, yielding `(row, col)`
+/// pairs: column 0 top to bottom, serpentine over rows `1..rows` of columns
+/// `1..cols` (odd columns upward, even downward), then (0, cols-1) and row 0
+/// right to left back toward the origin.
+fn ring_cycle_cols_even(rows: usize, cols: usize) -> impl Iterator<Item = (usize, usize)> {
+    let down_col0 = (0..rows).map(|r| (r, 0));
+    let serpentine = (1..cols).flat_map(move |c| {
+        let span: Box<dyn Iterator<Item = usize>> = if c % 2 == 1 {
+            Box::new((1..rows).rev())
+        } else {
+            Box::new(1..rows)
+        };
+        span.map(move |r| (r, c))
+    });
+    let top_right = std::iter::once((0, cols - 1));
+    let back_along_row0 = (1..cols.saturating_sub(1)).rev().map(|c| (0, c));
+    down_col0
+        .chain(serpentine)
+        .chain(top_right)
+        .chain(back_along_row0)
+}
+
+/// The direction of the single-hop step from `a` to an adjacent tile `b`.
+fn step_direction(a: TileCoord, b: TileCoord) -> Direction {
+    if b.row < a.row {
+        Direction::Up
+    } else if b.row > a.row {
+        Direction::Down
+    } else if b.col < a.col {
+        Direction::Left
+    } else {
+        Direction::Right
+    }
+}
+
+/// Emits the ingress events of a ring walk from `source` to `sink`.
+fn push_ring(
+    events: &mut Vec<IngressEvent>,
+    source: TileCoord,
+    sink: TileCoord,
+    dim: GridDim,
+    clockwise: bool,
+) {
+    if source == sink {
+        return;
+    }
+    let cycle = ring_cycle(dim);
+    let n = cycle.len();
+    #[allow(clippy::expect_used)]
+    let start = cycle
+        .iter()
+        .position(|&c| c == source)
+        // audit: allow(panic-safety): infallible — ring_cycle covers every grid tile and route_with asserted both endpoints are in-grid
+        .expect("source on ring cycle");
+    let mut idx = start;
+    let mut prev = source;
+    loop {
+        idx = if clockwise {
+            (idx + 1) % n
+        } else {
+            (idx + n - 1) % n
+        };
+        let next = cycle[idx];
+        events.push(IngressEvent::new(next, step_direction(prev, next)));
+        if next == sink {
+            return;
+        }
+        prev = next;
+    }
+}
+
+/// The gateway tile cross-quadrant traffic passes through under
+/// [`RoutingDiscipline::QuadrantLocal`]: the source coordinates clamped into
+/// the sink's quadrant. Equal to `source` for same-quadrant traffic, and
+/// always on a minimal (Manhattan-preserving) path.
+fn quadrant_gateway(source: TileCoord, sink: TileCoord, dim: GridDim) -> TileCoord {
+    let clamp = |v: usize, lo: usize, hi: usize| v.max(lo).min(hi);
+    let (row_lo, row_hi) = if sink.row < dim.rows.div_ceil(2) {
+        (0, dim.rows.div_ceil(2) - 1)
+    } else {
+        (dim.rows.div_ceil(2), dim.rows - 1)
+    };
+    let (col_lo, col_hi) = if sink.col < dim.cols.div_ceil(2) {
+        (0, dim.cols.div_ceil(2) - 1)
+    } else {
+        (dim.cols.div_ceil(2), dim.cols - 1)
+    };
+    TileCoord::new(
+        clamp(source.row, row_lo, row_hi),
+        clamp(source.col, col_lo, col_hi),
+    )
+}
+
+/// Traces a route under an explicit discipline; see [`route`].
+///
+/// # Panics
+///
+/// Panics if `source` or `sink` lie outside `dim`, or if a
+/// [`RoutingDiscipline::Ring`] is requested on a grid with an odd tile
+/// count.
 pub fn route_with(
     source: TileCoord,
     sink: TileCoord,
@@ -145,76 +326,28 @@ pub fn route_with(
     assert!(dim.contains(sink), "sink {sink} outside grid {dim}");
 
     let mut events = Vec::with_capacity(source.hop_distance(sink));
-
-    if discipline == RoutingDiscipline::HorizontalFirst && sink.col != source.col {
-        // Horizontal segment along the source row first.
-        let dir = if sink.col < source.col {
-            Direction::Left
-        } else {
-            Direction::Right
-        };
-        let cols: Box<dyn Iterator<Item = usize>> = if sink.col < source.col {
-            Box::new((sink.col..source.col).rev())
-        } else {
-            Box::new(source.col + 1..=sink.col)
-        };
-        for col in cols {
-            events.push(IngressEvent::new(TileCoord::new(source.row, col), dir));
+    match discipline {
+        RoutingDiscipline::VerticalFirst => {
+            // Vertical segment along the source column, then horizontal
+            // along the sink row.
+            push_vertical(&mut events, source.row, sink.row, source.col);
+            push_horizontal(&mut events, source.col, sink.col, sink.row);
         }
-        // Then vertical along the sink column.
-        if sink.row != source.row {
-            let dir = if sink.row < source.row {
-                Direction::Up
-            } else {
-                Direction::Down
-            };
-            let rows: Box<dyn Iterator<Item = usize>> = if sink.row < source.row {
-                Box::new((sink.row..source.row).rev())
-            } else {
-                Box::new(source.row + 1..=sink.row)
-            };
-            for row in rows {
-                events.push(IngressEvent::new(TileCoord::new(row, sink.col), dir));
-            }
+        RoutingDiscipline::HorizontalFirst => {
+            // Horizontal segment along the source row first, then vertical
+            // along the sink column.
+            push_horizontal(&mut events, source.col, sink.col, source.row);
+            push_vertical(&mut events, source.row, sink.row, sink.col);
         }
-        return Route {
-            source,
-            sink,
-            events,
-        };
-    }
-
-    // Vertical segment along the source column.
-    if sink.row != source.row {
-        let dir = if sink.row < source.row {
-            Direction::Up
-        } else {
-            Direction::Down
-        };
-        let rows: Box<dyn Iterator<Item = usize>> = if sink.row < source.row {
-            Box::new((sink.row..source.row).rev())
-        } else {
-            Box::new(source.row + 1..=sink.row)
-        };
-        for row in rows {
-            events.push(IngressEvent::new(TileCoord::new(row, source.col), dir));
+        RoutingDiscipline::Ring { clockwise } => {
+            push_ring(&mut events, source, sink, dim, clockwise);
         }
-    }
-
-    // Horizontal segment along the sink row.
-    if sink.col != source.col {
-        let dir = if sink.col < source.col {
-            Direction::Left
-        } else {
-            Direction::Right
-        };
-        let cols: Box<dyn Iterator<Item = usize>> = if sink.col < source.col {
-            Box::new((sink.col..source.col).rev())
-        } else {
-            Box::new(source.col + 1..=sink.col)
-        };
-        for col in cols {
-            events.push(IngressEvent::new(TileCoord::new(sink.row, col), dir));
+        RoutingDiscipline::QuadrantLocal => {
+            let gateway = quadrant_gateway(source, sink, dim);
+            push_vertical(&mut events, source.row, gateway.row, source.col);
+            push_horizontal(&mut events, source.col, gateway.col, gateway.row);
+            push_vertical(&mut events, gateway.row, sink.row, gateway.col);
+            push_horizontal(&mut events, gateway.col, sink.col, sink.row);
         }
     }
 
@@ -500,6 +633,98 @@ mod tests {
     fn route_panics_outside_grid() {
         let _ = route(TileCoord::new(9, 9), TileCoord::new(0, 0), DIM);
     }
+
+    #[test]
+    fn ring_cycle_visits_every_tile_once_and_closes() {
+        for dim in [
+            GridDim::new(5, 6),
+            GridDim::new(6, 8),
+            GridDim::new(4, 7),
+            GridDim::new(2, 2),
+            GridDim::new(3, 4),
+        ] {
+            let cycle = ring_cycle(dim);
+            assert_eq!(cycle.len(), dim.tile_count(), "{dim}");
+            let mut dedup = cycle.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), dim.tile_count(), "{dim}");
+            // Consecutive tiles (and the closing edge) are grid-adjacent.
+            for i in 0..cycle.len() {
+                let a = cycle[i];
+                let b = cycle[(i + 1) % cycle.len()];
+                assert_eq!(a.hop_distance(b), 1, "{dim}: {a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Hamiltonian")]
+    fn ring_cycle_panics_on_odd_grid() {
+        let _ = ring_cycle(GridDim::new(3, 3));
+    }
+
+    #[test]
+    fn ring_route_walks_the_cycle_to_the_sink() {
+        let dim = GridDim::new(4, 4);
+        let cycle = ring_cycle(dim);
+        let (src, dst) = (cycle[1], cycle[5]);
+        let r = route_with(src, dst, dim, RoutingDiscipline::Ring { clockwise: true });
+        assert_eq!(r.hop_count(), 4);
+        assert_eq!(tiles(&r), cycle[2..=5].to_vec());
+        // Counter-clockwise reaches the same sink the long way round.
+        let back = route_with(src, dst, dim, RoutingDiscipline::Ring { clockwise: false });
+        assert_eq!(back.hop_count(), cycle.len() - 4);
+        assert_eq!(back.events().last().unwrap().tile, dst);
+    }
+
+    #[test]
+    fn ring_events_are_contiguous_single_hops() {
+        let dim = GridDim::new(4, 7);
+        let cycle = ring_cycle(dim);
+        let r = route_with(
+            cycle[3],
+            cycle[20],
+            dim,
+            RoutingDiscipline::Ring { clockwise: true },
+        );
+        let mut prev = cycle[3];
+        for e in r.events() {
+            assert_eq!(prev.step(e.true_direction, dim), Some(e.tile));
+            prev = e.tile;
+        }
+        assert_eq!(prev, cycle[20]);
+    }
+
+    #[test]
+    fn quadrant_local_same_quadrant_is_vertical_first() {
+        // 5x6 grid: quadrant split at rows >= 3, cols >= 3. Both endpoints
+        // in the upper-left quadrant.
+        let (src, dst) = (TileCoord::new(2, 0), TileCoord::new(0, 2));
+        let ql = route_with(src, dst, DIM, RoutingDiscipline::QuadrantLocal);
+        let vf = route(src, dst, DIM);
+        assert_eq!(ql, vf);
+    }
+
+    #[test]
+    fn quadrant_local_crosses_through_the_gateway() {
+        // (4,0) lower-left -> (0,5) upper-right: the gateway clamps the
+        // source into the sink's quadrant at (2,3).
+        let r = route_with(
+            TileCoord::new(4, 0),
+            TileCoord::new(0, 5),
+            DIM,
+            RoutingDiscipline::QuadrantLocal,
+        );
+        // Manhattan-preserving: the clamp point lies on a minimal path.
+        assert_eq!(r.hop_count(), 9);
+        assert!(tiles(&r).contains(&TileCoord::new(2, 3)));
+        assert_eq!(r.events().last().unwrap().tile, TileCoord::new(0, 5));
+        // Differs from plain vertical-first: the turn happens inside the
+        // sink quadrant, not in the source column all the way up.
+        let vf = route(TileCoord::new(4, 0), TileCoord::new(0, 5), DIM);
+        assert_ne!(r, vf);
+    }
 }
 
 #[cfg(test)]
@@ -583,6 +808,104 @@ mod proptests {
                 } else {
                     prop_assert_eq!(e.tile.col, dst.col);
                 }
+            }
+        }
+
+        #[test]
+        fn hop_count_is_symmetric_under_coordinate_flip(
+            (src, dst) in (coord_strategy(GridDim{rows:6, cols:8}),
+                           coord_strategy(GridDim{rows:6, cols:8}))
+        ) {
+            // Flipping both coordinates through the grid centre preserves
+            // hop counts under every discipline: the mirror ambiguity the
+            // reconstruction cannot resolve from occupancy alone.
+            let dim = GridDim::new(6, 8);
+            let flip = |c: TileCoord| TileCoord::new(dim.rows - 1 - c.row, dim.cols - 1 - c.col);
+            for discipline in [
+                RoutingDiscipline::VerticalFirst,
+                RoutingDiscipline::HorizontalFirst,
+                RoutingDiscipline::Ring { clockwise: true },
+                RoutingDiscipline::QuadrantLocal,
+            ] {
+                let fwd = route_with(src, dst, dim, discipline);
+                // The flipped pair routes under the flipped polarity for
+                // rings (the cycle itself is not centre-symmetric, but arc
+                // lengths are preserved when polarity flips with it).
+                let flipped_discipline = match discipline {
+                    RoutingDiscipline::Ring { clockwise } =>
+                        RoutingDiscipline::Ring { clockwise: !clockwise },
+                    d => d,
+                };
+                let rev = route_with(flip(src), flip(dst), dim, flipped_discipline);
+                if !matches!(discipline, RoutingDiscipline::Ring { .. }) {
+                    prop_assert_eq!(fwd.hop_count(), rev.hop_count(),
+                        "{:?} {} -> {}", discipline, src, dst);
+                }
+                // Hop counts are invariant under swapping endpoints AND
+                // polarity/flip for all disciplines.
+                let swap = route_with(dst, src, dim, flipped_discipline);
+                prop_assert_eq!(fwd.hop_count(), swap.hop_count(),
+                    "{:?} swap {} -> {}", discipline, src, dst);
+            }
+        }
+
+        #[test]
+        fn shared_links_is_commutative(
+            (a_src, a_dst, b_src, b_dst) in (
+                coord_strategy(GridDim{rows:5, cols:6}),
+                coord_strategy(GridDim{rows:5, cols:6}),
+                coord_strategy(GridDim{rows:5, cols:6}),
+                coord_strategy(GridDim{rows:5, cols:6}))
+        ) {
+            let dim = GridDim::new(5, 6);
+            for discipline in [
+                RoutingDiscipline::VerticalFirst,
+                RoutingDiscipline::HorizontalFirst,
+                RoutingDiscipline::Ring { clockwise: true },
+                RoutingDiscipline::QuadrantLocal,
+            ] {
+                let a = route_with(a_src, a_dst, dim, discipline);
+                let b = route_with(b_src, b_dst, dim, discipline);
+                prop_assert_eq!(shared_links(&a, &b), shared_links(&b, &a));
+            }
+        }
+
+        #[test]
+        fn ring_wrap_around_distances(
+            (src, dst) in (coord_strategy(GridDim{rows:4, cols:7}),
+                           coord_strategy(GridDim{rows:4, cols:7}))
+        ) {
+            let dim = GridDim::new(4, 7);
+            let n = dim.tile_count();
+            let cw = route_with(src, dst, dim, RoutingDiscipline::Ring { clockwise: true });
+            let ccw = route_with(src, dst, dim, RoutingDiscipline::Ring { clockwise: false });
+            let cw_back = route_with(dst, src, dim, RoutingDiscipline::Ring { clockwise: true });
+            if src == dst {
+                prop_assert_eq!(cw.hop_count(), 0);
+                prop_assert_eq!(ccw.hop_count(), 0);
+            } else {
+                // Going all the way around: forward plus return arc is the
+                // full cycle, and reversing polarity equals swapping
+                // endpoints.
+                prop_assert_eq!(cw.hop_count() + cw_back.hop_count(), n);
+                prop_assert_eq!(ccw.hop_count(), cw_back.hop_count());
+                prop_assert_eq!(cw.events().last().unwrap().tile, dst);
+                prop_assert_eq!(ccw.events().last().unwrap().tile, dst);
+            }
+        }
+
+        #[test]
+        fn quadrant_routes_preserve_manhattan_distance(
+            (src, dst) in (coord_strategy(GridDim{rows:5, cols:6}),
+                           coord_strategy(GridDim{rows:5, cols:6}))
+        ) {
+            let dim = GridDim::new(5, 6);
+            let r = route_with(src, dst, dim, RoutingDiscipline::QuadrantLocal);
+            prop_assert_eq!(r.hop_count(), src.hop_distance(dst));
+            let mut prev = src;
+            for e in r.events() {
+                prop_assert_eq!(prev.step(e.true_direction, dim), Some(e.tile));
+                prev = e.tile;
             }
         }
 

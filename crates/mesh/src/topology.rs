@@ -1,0 +1,630 @@
+//! Data-driven topology descriptions: the generalization of the hardwired
+//! die templates into a "topology zoo".
+//!
+//! A [`Topology`] describes everything the mapping methodology must assume
+//! about an interconnect before it can fit observations to it:
+//!
+//! * the tile-class grid — which positions are core-capable and which hold
+//!   IMC or system tiles,
+//! * an optional *harvest mask* — tiles fused off (disabled) or reduced to
+//!   LLC-only at manufacturing time,
+//! * the routing discipline packets follow ([`RoutingDiscipline`]), and
+//! * the CHA and OS-core numbering schemes that map hidden IDs onto grid
+//!   positions.
+//!
+//! The three Xeon dies the paper measures are provided as builtin
+//! descriptions ([`Topology::builtin`]); user-supplied floorplans load from
+//! the `coremap-topology/v1` JSON format ([`Topology::from_json`]). Higher
+//! layers treat a set of topologies as *hypotheses*: one ILP reconstruction
+//! is attempted per topology and the best fit wins (see
+//! `coremap-core::topology_select`).
+
+use std::fmt;
+use std::sync::LazyLock;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TopologyError;
+use crate::floorplan::{ChaNumbering, CoreNumbering};
+use crate::route::RoutingDiscipline;
+use crate::{ChaId, GridDim, TileCoord};
+
+/// Schema tag of the topology file format.
+pub const TOPOLOGY_SCHEMA: &str = "coremap-topology/v1";
+
+/// The on-disk `coremap-topology/v1` description of a topology.
+///
+/// This is the serde-facing mirror of [`Topology`]: every field is plain
+/// data, validation happens when converting into a `Topology` via
+/// [`TryFrom`]. Serializing a `Topology` produces this spec, so a
+/// parse → build → serialize round trip is byte-stable. Every field is
+/// present in the JSON document (an absent harvest mask is an empty list,
+/// an absent core order is `null`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// Must equal [`TOPOLOGY_SCHEMA`].
+    pub schema: String,
+    /// Human-readable topology name, reported by hypothesis selection.
+    pub name: String,
+    /// Number of tile rows.
+    pub rows: usize,
+    /// Number of tile columns.
+    pub cols: usize,
+    /// Positions of integrated memory controller tiles.
+    pub imc: Vec<TileCoord>,
+    /// Positions of non-core system tiles (UPI/PCIe agents).
+    pub system: Vec<TileCoord>,
+    /// Order in which enabled CHAs are numbered over the grid.
+    pub cha_numbering: ChaNumbering,
+    /// Rule mapping core-bearing CHA IDs to OS core IDs.
+    pub core_numbering: CoreNumbering,
+    /// Routing discipline of the interconnect.
+    pub routing: RoutingDiscipline,
+    /// Harvest mask: tiles fully disabled (defective core and slice).
+    pub disabled: Vec<TileCoord>,
+    /// Harvest mask: tiles with the core fused off but the CHA/LLC active.
+    pub llc_only: Vec<TileCoord>,
+    /// Optional explicit OS-core enumeration: CHA IDs in OS-core order,
+    /// overriding `core_numbering`. Must name exactly the core-bearing CHAs
+    /// of the harvested grid.
+    pub core_order: Option<Vec<u16>>,
+}
+
+/// A validated interconnect topology: tile-class grid, harvest mask,
+/// routing discipline and ID numbering schemes.
+///
+/// Construct one from a [`TopologySpec`] (`TryFrom`), from JSON
+/// ([`Topology::from_json`]), or look up a builtin ([`Topology::builtin`]).
+/// Position accessors return precomputed slices — the tables are built once
+/// at validation time, never re-derived on the mapper hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    name: String,
+    dim: GridDim,
+    imc: Vec<TileCoord>,
+    system: Vec<TileCoord>,
+    cha_numbering: ChaNumbering,
+    core_numbering: CoreNumbering,
+    routing: RoutingDiscipline,
+    disabled: Vec<TileCoord>,
+    llc_only: Vec<TileCoord>,
+    core_order: Option<Vec<ChaId>>,
+    /// Core-capable positions in CHA numbering order, precomputed.
+    core_capable: Vec<TileCoord>,
+}
+
+// The vendored serde derive has no `try_from`/`into` container attributes,
+// so Topology's serde impls delegate to the spec mirror by hand: serializing
+// goes through `TopologySpec::from`, deserializing re-runs validation.
+impl Serialize for Topology {
+    fn to_value(&self) -> serde::Value {
+        TopologySpec::from(self.clone()).to_value()
+    }
+}
+
+impl Deserialize for Topology {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let spec = TopologySpec::from_value(value)?;
+        Topology::try_from(spec).map_err(|e| serde::Error::custom(e.to_string()))
+    }
+}
+
+impl TryFrom<TopologySpec> for Topology {
+    type Error = TopologyError;
+
+    fn try_from(spec: TopologySpec) -> Result<Self, TopologyError> {
+        if spec.schema != TOPOLOGY_SCHEMA {
+            return Err(TopologyError::BadSchema { found: spec.schema });
+        }
+        if spec.rows == 0 || spec.cols == 0 {
+            return Err(TopologyError::EmptyGrid);
+        }
+        let dim = GridDim::new(spec.rows, spec.cols);
+        if let RoutingDiscipline::Ring { .. } = spec.routing {
+            let degenerate = dim.rows.min(dim.cols) < 2 && dim.tile_count() > 2;
+            if !dim.tile_count().is_multiple_of(2) || degenerate {
+                return Err(TopologyError::RingParity { dim });
+            }
+        }
+
+        // Each grid position may belong to at most one tile-class list:
+        // duplicated or cross-listed coordinates are overlapping tiles.
+        let mut claimed = std::collections::BTreeSet::new();
+        let classes = [&spec.imc, &spec.system, &spec.disabled, &spec.llc_only];
+        for coords in classes {
+            for &coord in coords {
+                if !dim.contains(coord) {
+                    return Err(TopologyError::OutOfGrid { coord });
+                }
+                if !claimed.insert(coord) {
+                    return Err(TopologyError::OverlappingTiles { coord });
+                }
+            }
+        }
+
+        let is_capable = |c: &TileCoord| !spec.imc.contains(c) && !spec.system.contains(c);
+        let core_capable: Vec<TileCoord> = match spec.cha_numbering {
+            ChaNumbering::ColumnMajor => dim.iter_column_major().filter(is_capable).collect(),
+            ChaNumbering::RowMajor => dim.iter_row_major().filter(is_capable).collect(),
+        };
+
+        // Validate an explicit core order against the harvested grid: it
+        // must name exactly the core-bearing CHAs, and in particular must
+        // not number a CHA whose core was harvested away.
+        let core_order = match &spec.core_order {
+            None => None,
+            Some(order) => {
+                let enabled: Vec<TileCoord> = core_capable
+                    .iter()
+                    .copied()
+                    .filter(|c| !spec.disabled.contains(c))
+                    .collect();
+                let mut core_chas = std::collections::BTreeSet::new();
+                let mut llc_chas = std::collections::BTreeSet::new();
+                for (idx, coord) in enabled.iter().enumerate() {
+                    if spec.llc_only.contains(coord) {
+                        llc_chas.insert(idx as u16);
+                    } else {
+                        core_chas.insert(idx as u16);
+                    }
+                }
+                let mut seen = std::collections::BTreeSet::new();
+                for &cha in order {
+                    if llc_chas.contains(&cha) {
+                        return Err(TopologyError::HarvestedCoreNumbered { cha });
+                    }
+                    if !core_chas.contains(&cha) || !seen.insert(cha) {
+                        return Err(TopologyError::BadCoreOrder { cha });
+                    }
+                }
+                if seen.len() != core_chas.len() {
+                    return Err(TopologyError::IncompleteCoreOrder {
+                        listed: seen.len(),
+                        cores: core_chas.len(),
+                    });
+                }
+                Some(order.iter().map(|&c| ChaId::new(c)).collect())
+            }
+        };
+
+        Ok(Topology {
+            name: spec.name,
+            dim,
+            imc: spec.imc,
+            system: spec.system,
+            cha_numbering: spec.cha_numbering,
+            core_numbering: spec.core_numbering,
+            routing: spec.routing,
+            disabled: spec.disabled,
+            llc_only: spec.llc_only,
+            core_order,
+            core_capable,
+        })
+    }
+}
+
+impl From<Topology> for TopologySpec {
+    fn from(t: Topology) -> TopologySpec {
+        TopologySpec {
+            schema: TOPOLOGY_SCHEMA.to_owned(),
+            name: t.name,
+            rows: t.dim.rows,
+            cols: t.dim.cols,
+            imc: t.imc,
+            system: t.system,
+            cha_numbering: t.cha_numbering,
+            core_numbering: t.core_numbering,
+            routing: t.routing,
+            disabled: t.disabled,
+            llc_only: t.llc_only,
+            core_order: t
+                .core_order
+                .map(|o| o.iter().map(|c| c.index() as u16).collect()),
+        }
+    }
+}
+
+impl Topology {
+    /// Topology name (unique within a hypothesis set by convention).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Grid dimensions.
+    pub fn dim(&self) -> GridDim {
+        self.dim
+    }
+
+    /// Routing discipline of the interconnect.
+    pub fn routing(&self) -> RoutingDiscipline {
+        self.routing
+    }
+
+    /// CHA numbering scheme.
+    pub fn cha_numbering(&self) -> ChaNumbering {
+        self.cha_numbering
+    }
+
+    /// OS-core numbering scheme.
+    pub fn core_numbering(&self) -> CoreNumbering {
+        self.core_numbering
+    }
+
+    /// Positions of the IMC tiles (precomputed table, no allocation).
+    pub fn imc_positions(&self) -> &[TileCoord] {
+        &self.imc
+    }
+
+    /// Positions of the system tiles (precomputed table, no allocation).
+    pub fn system_positions(&self) -> &[TileCoord] {
+        &self.system
+    }
+
+    /// Core-capable positions in CHA numbering order (precomputed table).
+    pub fn core_capable_positions(&self) -> &[TileCoord] {
+        &self.core_capable
+    }
+
+    /// Number of core-capable tiles.
+    pub fn core_capable_count(&self) -> usize {
+        self.core_capable.len()
+    }
+
+    /// Harvest mask: fully disabled tiles.
+    pub fn disabled_mask(&self) -> &[TileCoord] {
+        &self.disabled
+    }
+
+    /// Harvest mask: LLC-only tiles.
+    pub fn llc_only_mask(&self) -> &[TileCoord] {
+        &self.llc_only
+    }
+
+    /// Explicit OS-core enumeration override, if the spec declared one.
+    pub fn core_order(&self) -> Option<&[ChaId]> {
+        self.core_order.as_deref()
+    }
+
+    /// Parses a `coremap-topology/v1` JSON document.
+    pub fn from_json(json: &str) -> Result<Topology, TopologyError> {
+        let spec: TopologySpec =
+            serde_json::from_str(json).map_err(|e| TopologyError::Parse { msg: e.to_string() })?;
+        Topology::try_from(spec)
+    }
+
+    /// Serializes to the `coremap-topology/v1` JSON format.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the spec mirror of a validated topology always
+    /// serializes.
+    #[allow(clippy::expect_used)]
+    pub fn to_json(&self, pretty: bool) -> String {
+        let spec: TopologySpec = self.clone().into();
+        let out = if pretty {
+            serde_json::to_string_pretty(&spec)
+        } else {
+            serde_json::to_string(&spec)
+        };
+        // audit: allow(panic-safety): infallible — TopologySpec is a plain data struct with no map keys or non-string types that serde_json can reject
+        out.expect("topology spec serializes")
+    }
+
+    /// Looks up a builtin topology by name.
+    pub fn builtin(name: &str) -> Option<&'static Topology> {
+        BUILTINS.iter().copied().find(|t| t.name == name)
+    }
+
+    /// All builtin topologies: the three Xeon dies plus the routing-variant
+    /// hypotheses used by topology selection.
+    pub fn builtins() -> &'static [&'static Topology] {
+        LazyLock::force(&BUILTINS).as_slice()
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} grid)", self.name, self.dim)
+    }
+}
+
+/// Builds a validated topology from literal parts; used for the builtin
+/// table, where the inputs are known-good by construction.
+#[allow(clippy::expect_used, clippy::too_many_arguments)]
+fn builtin_spec(
+    name: &str,
+    rows: usize,
+    cols: usize,
+    imc: Vec<TileCoord>,
+    system: Vec<TileCoord>,
+    cha_numbering: ChaNumbering,
+    core_numbering: CoreNumbering,
+    routing: RoutingDiscipline,
+) -> Topology {
+    let spec = TopologySpec {
+        schema: TOPOLOGY_SCHEMA.to_owned(),
+        name: name.to_owned(),
+        rows,
+        cols,
+        imc,
+        system,
+        cha_numbering,
+        core_numbering,
+        routing,
+        disabled: Vec::new(),
+        llc_only: Vec::new(),
+        core_order: None,
+    };
+    // audit: allow(panic-safety): infallible — builtin specs are literal constants validated by the builtin_* unit tests
+    Topology::try_from(spec).expect("builtin topology is valid")
+}
+
+fn skylake_geometry(name: &str, routing: RoutingDiscipline) -> Topology {
+    builtin_spec(
+        name,
+        5,
+        6,
+        vec![TileCoord::new(1, 0), TileCoord::new(1, 5)],
+        Vec::new(),
+        ChaNumbering::ColumnMajor,
+        CoreNumbering::Stride4Class,
+        routing,
+    )
+}
+
+/// Skylake XCC server die (paper Fig. 1): 5x6 grid, IMC tiles at (1,0) and
+/// (1,5), column-major CHA numbering, stride-4 core enumeration.
+static SKYLAKE_XCC: LazyLock<Topology> =
+    LazyLock::new(|| skylake_geometry("skylake-xcc", RoutingDiscipline::VerticalFirst));
+
+/// Cascade Lake XCC die (the Platinum 8259CL part): geometrically identical
+/// to Skylake XCC — the generations share the die layout, so hypothesis
+/// selection cannot (and should not) separate them from observations alone.
+static CASCADELAKE_XCC: LazyLock<Topology> =
+    LazyLock::new(|| skylake_geometry("cascadelake-xcc", RoutingDiscipline::VerticalFirst));
+
+/// Ice Lake server die (paper Fig. 5): 6x8 grid, four IMC tiles on the
+/// left/right edges, four corner system tiles, row-major CHA numbering.
+static ICELAKE_XCC: LazyLock<Topology> = LazyLock::new(|| {
+    builtin_spec(
+        "icelake-xcc",
+        6,
+        8,
+        vec![
+            TileCoord::new(2, 0),
+            TileCoord::new(2, 7),
+            TileCoord::new(4, 0),
+            TileCoord::new(4, 7),
+        ],
+        vec![
+            TileCoord::new(0, 0),
+            TileCoord::new(0, 7),
+            TileCoord::new(5, 0),
+            TileCoord::new(5, 7),
+        ],
+        ChaNumbering::RowMajor,
+        CoreNumbering::Ascending,
+        RoutingDiscipline::VerticalFirst,
+    )
+});
+
+/// Counterfactual Skylake-geometry die routing X-then-Y: the hypothesis the
+/// routing-assumption ablation tests against.
+static SKYLAKE_XCC_XFIRST: LazyLock<Topology> =
+    LazyLock::new(|| skylake_geometry("skylake-xcc-xfirst", RoutingDiscipline::HorizontalFirst));
+
+/// Counterfactual Skylake-geometry die with quadrant-local (SNC-style)
+/// routing: traffic crosses quadrant boundaries through a clamped gateway.
+static SKYLAKE_XCC_QUAD: LazyLock<Topology> =
+    LazyLock::new(|| skylake_geometry("skylake-xcc-quad", RoutingDiscipline::QuadrantLocal));
+
+/// A 28-tile ring interconnect modelled on a 4x7 all-core grid: every tile
+/// is core-capable and packets walk a fixed Hamiltonian cycle (the *Lord of
+/// the Ring(s)* interconnect family).
+static RING_28: LazyLock<Topology> = LazyLock::new(|| {
+    builtin_spec(
+        "ring-28",
+        4,
+        7,
+        Vec::new(),
+        Vec::new(),
+        ChaNumbering::ColumnMajor,
+        CoreNumbering::Ascending,
+        RoutingDiscipline::Ring { clockwise: true },
+    )
+});
+
+static BUILTINS: LazyLock<[&'static Topology; 6]> = LazyLock::new(|| {
+    [
+        &SKYLAKE_XCC,
+        &CASCADELAKE_XCC,
+        &ICELAKE_XCC,
+        &SKYLAKE_XCC_XFIRST,
+        &SKYLAKE_XCC_QUAD,
+        &RING_28,
+    ]
+});
+
+/// Builtin topology handles, for delegation from `DieTemplate`.
+pub(crate) fn skylake_xcc() -> &'static Topology {
+    &SKYLAKE_XCC
+}
+
+/// See [`skylake_xcc`].
+pub(crate) fn icelake_xcc() -> &'static Topology {
+    &ICELAKE_XCC
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    fn base_spec() -> TopologySpec {
+        TopologySpec {
+            schema: TOPOLOGY_SCHEMA.to_owned(),
+            name: "test".to_owned(),
+            rows: 3,
+            cols: 4,
+            imc: vec![TileCoord::new(1, 0)],
+            system: Vec::new(),
+            cha_numbering: ChaNumbering::ColumnMajor,
+            core_numbering: CoreNumbering::Ascending,
+            routing: RoutingDiscipline::VerticalFirst,
+            disabled: Vec::new(),
+            llc_only: Vec::new(),
+            core_order: None,
+        }
+    }
+
+    #[test]
+    fn builtins_cover_the_three_xeon_dies_and_variants() {
+        let names: Vec<&str> = Topology::builtins().iter().map(|t| t.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "skylake-xcc",
+                "cascadelake-xcc",
+                "icelake-xcc",
+                "skylake-xcc-xfirst",
+                "skylake-xcc-quad",
+                "ring-28",
+            ]
+        );
+        assert!(Topology::builtin("skylake-xcc").is_some());
+        assert!(Topology::builtin("nope").is_none());
+    }
+
+    #[test]
+    fn skylake_builtin_matches_paper_geometry() {
+        let t = Topology::builtin("skylake-xcc").unwrap();
+        assert_eq!(t.dim(), GridDim::new(5, 6));
+        assert_eq!(t.core_capable_count(), 28);
+        assert_eq!(t.imc_positions().len(), 2);
+        assert_eq!(t.core_capable_positions()[0], TileCoord::new(0, 0));
+        // (1,0) is an IMC: capable order skips straight to (2,0).
+        assert_eq!(t.core_capable_positions()[1], TileCoord::new(2, 0));
+    }
+
+    #[test]
+    fn cascadelake_shares_skylake_geometry() {
+        let skx = Topology::builtin("skylake-xcc").unwrap();
+        let clx = Topology::builtin("cascadelake-xcc").unwrap();
+        assert_eq!(skx.dim(), clx.dim());
+        assert_eq!(skx.core_capable_positions(), clx.core_capable_positions());
+        assert_ne!(skx.name(), clx.name());
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let spec = TopologySpec {
+            schema: "coremap-topology/v0".to_owned(),
+            ..base_spec()
+        };
+        assert!(matches!(
+            Topology::try_from(spec),
+            Err(TopologyError::BadSchema { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_overlapping_tiles() {
+        let c = TileCoord::new(1, 0);
+        let spec = TopologySpec {
+            system: vec![c], // also an IMC in base_spec
+            ..base_spec()
+        };
+        assert_eq!(
+            Topology::try_from(spec).unwrap_err(),
+            TopologyError::OverlappingTiles { coord: c }
+        );
+        // A duplicate within one list is the same defect.
+        let spec = TopologySpec {
+            disabled: vec![TileCoord::new(0, 0), TileCoord::new(0, 0)],
+            ..base_spec()
+        };
+        assert!(matches!(
+            Topology::try_from(spec),
+            Err(TopologyError::OverlappingTiles { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_grid_tiles() {
+        let spec = TopologySpec {
+            disabled: vec![TileCoord::new(9, 9)],
+            ..base_spec()
+        };
+        assert!(matches!(
+            Topology::try_from(spec),
+            Err(TopologyError::OutOfGrid { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_harvested_core_still_numbered() {
+        // 3x4 grid minus one IMC = 11 capable tiles. CHA 0 sits at (0,0);
+        // mark it LLC-only (core harvested) and still list it in core_order.
+        let spec = TopologySpec {
+            llc_only: vec![TileCoord::new(0, 0)],
+            core_order: Some((0..11).collect()),
+            ..base_spec()
+        };
+        assert_eq!(
+            Topology::try_from(spec).unwrap_err(),
+            TopologyError::HarvestedCoreNumbered { cha: 0 }
+        );
+    }
+
+    #[test]
+    fn rejects_incomplete_or_bogus_core_order() {
+        let spec = TopologySpec {
+            core_order: Some(vec![0, 1]),
+            ..base_spec()
+        };
+        assert!(matches!(
+            Topology::try_from(spec),
+            Err(TopologyError::IncompleteCoreOrder { .. })
+        ));
+        let spec = TopologySpec {
+            core_order: Some(vec![0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9]),
+            ..base_spec()
+        };
+        assert!(matches!(
+            Topology::try_from(spec),
+            Err(TopologyError::BadCoreOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_odd_ring() {
+        let spec = TopologySpec {
+            rows: 3,
+            cols: 3,
+            imc: Vec::new(),
+            routing: RoutingDiscipline::Ring { clockwise: true },
+            ..base_spec()
+        };
+        assert!(matches!(
+            Topology::try_from(spec),
+            Err(TopologyError::RingParity { .. })
+        ));
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_identical() {
+        let topo = Topology::builtin("icelake-xcc").unwrap();
+        let json = topo.to_json(true);
+        let parsed = Topology::from_json(&json).unwrap();
+        assert_eq!(&parsed, topo);
+        assert_eq!(parsed.to_json(true), json);
+    }
+
+    #[test]
+    fn from_json_reports_parse_errors() {
+        assert!(matches!(
+            Topology::from_json("{not json"),
+            Err(TopologyError::Parse { .. })
+        ));
+    }
+}

@@ -374,7 +374,7 @@ impl XeonMachine {
 
     /// Number of integrated memory controllers on the die.
     pub fn imc_count(&self) -> usize {
-        self.plan.template().imc_positions().len()
+        self.plan.topology().imc_positions().len()
     }
 
     /// Measures the uncached memory access latency (in mesh-hop units plus
@@ -392,7 +392,7 @@ impl XeonMachine {
         const DRAM_CONST: u64 = 60;
         const HOP_COST: u64 = 2;
         self.begin_op();
-        let imc_pos = self.plan.template().imc_positions()[imc];
+        let imc_pos = self.plan.topology().imc_positions()[imc];
         let core_pos = self.plan.coord_of_core(core);
         // Round trip: request out, data back.
         DRAM_CONST + 2 * HOP_COST * core_pos.hop_distance(imc_pos) as u64

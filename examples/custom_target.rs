@@ -1,11 +1,24 @@
-//! Custom measurement backends: the `MachineBackend` seam.
+//! Custom targets end to end: a user-supplied topology file driven
+//! through a custom `MachineBackend`.
 //!
-//! The mapping pipeline is generic over
-//! [`core_map::core::backend::MachineBackend`], the trait a real-hardware
-//! backend implements (see its docs for the bare-metal Linux recipe).
-//! This example wraps the simulator in an *instrumenting* backend that
-//! counts every primitive the methodology invokes — yielding the measurement-cost profile of the attack, broken
-//! down by primitive.
+//! Two seams make the engine retargetable beyond the paper's three Xeon
+//! SKUs:
+//!
+//! * **Topology** (`coremap-topology/v1`): the die is data, not code.
+//!   This example loads `examples/topologies/tutorial-3x4.json` — a 3x4
+//!   teaching mesh with one harvested tile and one LLC-only tile — and
+//!   builds its floorplan with
+//!   [`FloorplanBuilder::from_topology`](core_map::mesh::FloorplanBuilder).
+//! * **Backend**: the pipeline is generic over
+//!   [`core_map::core::backend::MachineBackend`], the trait a
+//!   real-hardware backend implements (see its docs for the bare-metal
+//!   Linux recipe). Here the simulator is wrapped in an *instrumenting*
+//!   backend that counts every primitive the methodology invokes.
+//!
+//! The mapper then runs with a topology *hypothesis set* — the custom die
+//! plus the builtin zoo — and must identify the custom topology from the
+//! trace alone, yielding both the winning hypothesis and the
+//! measurement-cost profile of the attack.
 //!
 //! ```sh
 //! cargo run --release --example custom_target
@@ -14,10 +27,9 @@
 use std::cell::Cell;
 
 use core_map::core::backend::MachineBackend;
-use core_map::core::CoreMapper;
-use core_map::fleet::{CloudFleet, CpuModel};
-use core_map::mesh::{ChaId, GridDim, OsCoreId};
-use core_map::uncore::{MsrError, PhysAddr, XeonMachine};
+use core_map::core::{CoreMapper, MapperConfig};
+use core_map::mesh::{ChaId, FloorplanBuilder, GridDim, OsCoreId, Topology};
+use core_map::uncore::{MachineConfig, MsrError, PhysAddr, XeonMachine};
 
 /// Counts how often each `MachineBackend` primitive is used.
 #[derive(Default)]
@@ -99,18 +111,47 @@ impl MachineBackend for InstrumentedTarget {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let fleet = CloudFleet::with_seed(2022);
-    let instance = fleet.instance(CpuModel::Platinum8175M, 0)?;
+    // The target die is a data file, not a code change.
+    let json = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/topologies/tutorial-3x4.json"
+    ))?;
+    let topology = Topology::from_json(&json)?;
+    let plan = FloorplanBuilder::from_topology(topology.clone()).build()?;
+    let machine = XeonMachine::new(
+        plan,
+        MachineConfig {
+            routing: topology.routing(),
+            ..MachineConfig::default()
+        },
+    );
     let mut target = InstrumentedTarget {
-        inner: instance.boot(),
+        inner: machine,
         profile: Profile::default(),
     };
 
-    let map = CoreMapper::new().map(&mut target)?;
+    // Map under a hypothesis set: the custom die plus the builtin zoo.
+    // The mapper must pick the right topology from the trace alone.
+    let mut hypotheses = vec![topology.clone()];
+    hypotheses.extend(Topology::builtins().iter().map(|&t| t.clone()));
+    let mapper = CoreMapper::with_config(MapperConfig {
+        topology_hypotheses: hypotheses,
+        ..MapperConfig::default()
+    });
+    let (map, diag) = mapper.map_with_diagnostics(&mut target)?;
     println!(
-        "mapped {} ({} cores) through an instrumented MachineBackend\n",
-        instance.model(),
+        "mapped custom die {topology} ({} cores) through an instrumented MachineBackend",
         map.core_count()
+    );
+    for score in &diag.quality.hypothesis_scores {
+        match &score.eliminated_by {
+            Some(why) => println!("  {:<20} eliminated: {why}", score.name),
+            None => println!("  {:<20} fits", score.name),
+        }
+    }
+    println!(
+        "winning topology: {}\n",
+        map.topology_name().unwrap_or("<none>")
     );
     let p = &target.profile;
     println!("measurement-cost profile of the methodology:");

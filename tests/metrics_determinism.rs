@@ -189,7 +189,8 @@ fn presolve_heavy_snapshot() -> String {
             .collect();
         let disable = template
             .core_capable_positions()
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|p| !keep.contains(p));
         let plan = FloorplanBuilder::new(template)
             .disable_all(disable)

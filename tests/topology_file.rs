@@ -1,0 +1,144 @@
+//! Workspace-level tests of the `coremap-topology/v1` file format: the
+//! shipped example files must round-trip byte-identically through
+//! parse → validate → serialize, build into working floorplans, and the
+//! parser must reject malformed or inconsistent floorplans with a
+//! diagnosable error.
+//!
+//! Regenerate the example files after a deliberate format change with
+//! `COREMAP_REGEN_TOPOLOGIES=1 cargo test --test topology_file`.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use coremap_mesh::{FloorplanBuilder, TileCoord, Topology};
+
+fn example_path(name: &str) -> String {
+    format!("{}/examples/topologies/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn example_files() -> Vec<String> {
+    let dir = format!("{}/examples/topologies", env!("CARGO_MANIFEST_DIR"));
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples/topologies exists")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|n| n.ends_with(".json"))
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn example_topology_files_round_trip_byte_identically() {
+    if std::env::var_os("COREMAP_REGEN_TOPOLOGIES").is_some() {
+        regenerate();
+    }
+    let files = example_files();
+    assert!(!files.is_empty(), "no example topology files shipped");
+    for name in files {
+        let raw = std::fs::read_to_string(example_path(&name)).unwrap();
+        let topo =
+            Topology::from_json(&raw).unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
+        // parse -> build: the description is a working floorplan.
+        let plan = FloorplanBuilder::from_topology(topo.clone())
+            .build()
+            .unwrap_or_else(|e| panic!("{name} does not build: {e}"));
+        assert_eq!(plan.dim(), topo.dim(), "{name}");
+        // parse -> serialize: byte-identical to the shipped file.
+        let again = format!("{}\n", topo.to_json(true));
+        assert_eq!(raw, again, "{name} is not serialized canonically");
+    }
+}
+
+#[test]
+fn builtin_zoo_round_trips_byte_identically() {
+    for topo in Topology::builtins() {
+        let json = topo.to_json(true);
+        let back = Topology::from_json(&json).unwrap();
+        assert_eq!(**topo, back, "{}", topo.name());
+        assert_eq!(json, back.to_json(true), "{}", topo.name());
+    }
+}
+
+#[test]
+fn malformed_topology_files_are_rejected() {
+    let base = Topology::builtin("skylake-xcc").unwrap().to_json(true);
+
+    // Wrong schema tag.
+    let bad_schema = base.replace("coremap-topology/v1", "coremap-topology/v0");
+    let err = Topology::from_json(&bad_schema).unwrap_err().to_string();
+    assert!(err.contains("schema"), "{err}");
+
+    // Overlapping tile classes: an IMC coordinate repeated as disabled.
+    let overlapping = base.replace(
+        "\"disabled\": []",
+        "\"disabled\": [{\"row\": 1, \"col\": 0}]",
+    );
+    let err = Topology::from_json(&overlapping).unwrap_err().to_string();
+    assert!(err.contains("claimed by more"), "{err}");
+
+    // Harvested core still listed in the explicit core order.
+    let harvested = base
+        .replace(
+            "\"disabled\": []",
+            "\"disabled\": [{\"row\": 0, \"col\": 0}]",
+        )
+        .replace("\"core_order\": null", "\"core_order\": [0, 1, 2]");
+    let err = Topology::from_json(&harvested).unwrap_err().to_string();
+    assert!(
+        err.contains("core order") || err.contains("harvested"),
+        "{err}"
+    );
+
+    // Not JSON at all.
+    assert!(Topology::from_json("not json").is_err());
+}
+
+/// The shipped example descriptions, built through the public API so the
+/// files always match the canonical serialization.
+fn regenerate() {
+    use coremap_mesh::{ChaNumbering, CoreNumbering, RoutingDiscipline, TopologySpec};
+
+    // A small teaching mesh: 3x4, one IMC pair, one harvested tile and one
+    // LLC-only tile — the floorplan walked through in the README's
+    // topology-zoo section and examples/custom_target.rs.
+    let tutorial = TopologySpec {
+        schema: coremap_mesh::TOPOLOGY_SCHEMA.to_owned(),
+        name: "tutorial-3x4".to_owned(),
+        rows: 3,
+        cols: 4,
+        imc: vec![TileCoord::new(1, 0), TileCoord::new(1, 3)],
+        system: vec![],
+        cha_numbering: ChaNumbering::RowMajor,
+        core_numbering: CoreNumbering::Ascending,
+        routing: RoutingDiscipline::VerticalFirst,
+        disabled: vec![TileCoord::new(0, 3)],
+        llc_only: vec![TileCoord::new(2, 2)],
+        core_order: None,
+    };
+
+    // An 8-tile ring NoC (client-die shape) with clockwise polarity.
+    let ring = TopologySpec {
+        schema: coremap_mesh::TOPOLOGY_SCHEMA.to_owned(),
+        name: "ring-8".to_owned(),
+        rows: 2,
+        cols: 4,
+        imc: vec![],
+        system: vec![],
+        cha_numbering: ChaNumbering::ColumnMajor,
+        core_numbering: CoreNumbering::Ascending,
+        routing: RoutingDiscipline::Ring { clockwise: true },
+        disabled: vec![],
+        llc_only: vec![],
+        core_order: None,
+    };
+
+    for spec in [tutorial, ring] {
+        let topo = Topology::try_from(spec).expect("example spec is valid");
+        let path = example_path(&format!("{}.json", topo.name()));
+        std::fs::create_dir_all(format!(
+            "{}/examples/topologies",
+            env!("CARGO_MANIFEST_DIR")
+        ))
+        .unwrap();
+        std::fs::write(path, format!("{}\n", topo.to_json(true))).unwrap();
+    }
+}

@@ -1,0 +1,122 @@
+//! End-to-end topology hypothesis selection through the public API: an
+//! unlabeled machine is mapped under the full builtin zoo and the mapper
+//! must identify the machine's true topology, report per-hypothesis
+//! verdicts through [`MapQuality`], stamp the winner on the [`CoreMap`]
+//! and emit the `topo.hypotheses.{tested,eliminated}` counters.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::Arc;
+
+use core_map::core::{verify, CoreMapper, MapperConfig};
+use core_map::mesh::{FloorplanBuilder, Topology};
+use core_map::obs;
+use core_map::uncore::{MachineConfig, XeonMachine};
+
+fn zoo() -> Vec<Topology> {
+    Topology::builtins().iter().map(|&t| t.clone()).collect()
+}
+
+fn zoo_mapper() -> CoreMapper {
+    CoreMapper::with_config(MapperConfig {
+        topology_hypotheses: zoo(),
+        ..MapperConfig::default()
+    })
+}
+
+/// Maps a machine built from the named builtin topology under the full
+/// zoo, returning the map, quality report and the selection counters. The
+/// machine's simulated interconnect routes with the topology's own
+/// discipline — the machine *is* what the hypothesis claims it is.
+fn select_on(
+    truth: &str,
+) -> (
+    core_map::core::CoreMap,
+    core_map::core::MapQuality,
+    u64,
+    u64,
+) {
+    let topo = Topology::builtin(truth).unwrap().clone();
+    let routing = topo.routing();
+    let plan = FloorplanBuilder::from_topology(topo).build().unwrap();
+    let mut machine = XeonMachine::new(
+        plan,
+        MachineConfig {
+            routing,
+            ..MachineConfig::default()
+        },
+    );
+    let reg = Arc::new(obs::Registry::new());
+    let (map, diag) = {
+        let _guard = obs::install(reg.clone());
+        zoo_mapper().map_with_diagnostics(&mut machine).unwrap()
+    };
+    (
+        map,
+        diag.quality,
+        reg.counter_value("topo.hypotheses.tested"),
+        reg.counter_value("topo.hypotheses.eliminated"),
+    )
+}
+
+#[test]
+fn skylake_machine_selects_skylake() {
+    let (map, quality, tested, eliminated) = select_on("skylake-xcc");
+    assert_eq!(map.topology_name(), Some("skylake-xcc"));
+    assert_eq!(quality.winning_topology.as_deref(), Some("skylake-xcc"));
+    assert_eq!(tested, 6);
+    // Cascade Lake shares the geometry and survives; everything else falls.
+    assert_eq!(eliminated, 4);
+    let survivors: Vec<&str> = quality
+        .hypothesis_scores
+        .iter()
+        .filter(|s| s.survives())
+        .map(|s| s.name.as_str())
+        .collect();
+    assert_eq!(survivors, ["skylake-xcc", "cascadelake-xcc"]);
+    // The recovered placement is the true one.
+    let truth = FloorplanBuilder::from_topology(Topology::builtin("skylake-xcc").unwrap().clone())
+        .build()
+        .unwrap();
+    assert!(verify::matches_exactly(&map, &truth));
+}
+
+#[test]
+fn icelake_machine_eliminates_the_wrong_die() {
+    let (map, quality, tested, eliminated) = select_on("icelake-xcc");
+    assert_eq!(map.topology_name(), Some("icelake-xcc"));
+    assert_eq!(tested, 6);
+    assert_eq!(eliminated, 5);
+    // Every Skylake-shaped hypothesis dies on capacity: 40 CHAs cannot fit
+    // a 28-capable grid.
+    for name in ["skylake-xcc", "cascadelake-xcc", "ring-28"] {
+        let s = quality
+            .hypothesis_scores
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap();
+        assert!(!s.survives(), "{name} should be eliminated");
+        assert!(s.eliminated_by.is_some(), "{name} lacks a reason");
+    }
+}
+
+#[test]
+fn ring_machine_selects_the_ring_hypothesis() {
+    let (map, quality, tested, eliminated) = select_on("ring-28");
+    assert_eq!(map.topology_name(), Some("ring-28"));
+    assert_eq!(quality.winning_topology.as_deref(), Some("ring-28"));
+    assert_eq!((tested, eliminated), (6, 5));
+    // No mesh hypothesis explains a ring trace.
+    assert!(quality
+        .hypothesis_scores
+        .iter()
+        .all(|s| s.name == "ring-28" || !s.survives()));
+}
+
+#[test]
+fn selection_is_deterministic_across_reruns() {
+    let (map_a, quality_a, _, _) = select_on("skylake-xcc");
+    let (map_b, quality_b, _, _) = select_on("skylake-xcc");
+    assert_eq!(map_a, map_b);
+    assert_eq!(quality_a, quality_b);
+}
